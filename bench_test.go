@@ -1,0 +1,134 @@
+package mflow
+
+// This file is the benchmark harness regenerating the paper's evaluation:
+// one testing.B benchmark per table/figure (run with `go test -bench=.`).
+// Reported custom metrics carry the figures' headline quantities (Gbps,
+// latency, out-of-order counts) so `go test -bench` output doubles as a
+// summary of the reproduction. The bench package renders the full tables;
+// the mflowbench command writes them to disk.
+
+import (
+	"testing"
+
+	"mflow/internal/bench"
+	"mflow/internal/sim"
+)
+
+func benchRunner() *bench.Runner {
+	return &bench.Runner{Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond}
+}
+
+// BenchmarkFig4Throughput regenerates Fig. 4: state-of-the-art single-flow
+// throughput and CPU breakdowns (native / vanilla / RPS / FALCON).
+func BenchmarkFig4Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		tables := r.Fig4()
+		v := Run(Scenario{System: Vanilla, Proto: TCP, Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+		n := Run(Scenario{System: Native, Proto: TCP, Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+		b.ReportMetric(v.Gbps, "vanilla-Gbps")
+		b.ReportMetric(n.Gbps, "native-Gbps")
+		_ = tables
+	}
+}
+
+// BenchmarkFig7Batch regenerates Fig. 7: out-of-order deliveries versus the
+// micro-flow batch size.
+func BenchmarkFig7Batch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		tab := r.Fig7()
+		_ = tab
+	}
+	small := Run(Scenario{System: MFlow, Proto: TCP, MFlow: MFlowConfig{BatchSize: 1},
+		Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+	big := Run(Scenario{System: MFlow, Proto: TCP, MFlow: MFlowConfig{BatchSize: 256},
+		Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+	b.ReportMetric(float64(small.OOOSKBs), "ooo-batch1")
+	b.ReportMetric(float64(big.OOOSKBs), "ooo-batch256")
+}
+
+// BenchmarkFig8Throughput regenerates Fig. 8: MFLOW against every baseline.
+func BenchmarkFig8Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_ = r.Fig8()
+	}
+	m := Run(Scenario{System: MFlow, Proto: TCP, Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+	u := Run(Scenario{System: MFlow, Proto: UDP, Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+	b.ReportMetric(m.Gbps, "mflow-TCP-Gbps")
+	b.ReportMetric(u.Gbps, "mflow-UDP-Gbps")
+}
+
+// BenchmarkFig9Latency regenerates Fig. 9: latency under maximum load.
+func BenchmarkFig9Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_ = r.Fig9()
+	}
+	m := Run(Scenario{System: MFlow, Proto: TCP, Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+	v := Run(Scenario{System: Vanilla, Proto: TCP, Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+	b.ReportMetric(float64(m.Latency.Median())/1000, "mflow-p50-µs")
+	b.ReportMetric(float64(v.Latency.Median())/1000, "vanilla-p50-µs")
+}
+
+// BenchmarkFig10MultiFlow regenerates Fig. 10: multi-flow TCP scaling.
+func BenchmarkFig10MultiFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_ = r.Fig10()
+	}
+}
+
+// BenchmarkFig11WebServing regenerates Fig. 11: the web-serving benchmark.
+func BenchmarkFig11WebServing(b *testing.B) {
+	var tot float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		tables := r.Fig11()
+		_ = tables
+		w := RunWebServing(WebConfig{System: MFlow, Warmup: 2 * sim.Millisecond, Measure: 10 * sim.Millisecond})
+		tot = w.TotalSuccessPerSec
+	}
+	b.ReportMetric(tot, "mflow-success-op/s")
+}
+
+// BenchmarkFig12Balance regenerates Fig. 12: CPU load balance under ten
+// concurrent flows.
+func BenchmarkFig12Balance(b *testing.B) {
+	var f, m float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		tab := r.Fig12()
+		_ = tab
+		fr := Run(Scenario{System: FalconDev, Proto: TCP, Flows: 10, KernelCores: 10, AppCores: 5,
+			Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+		mr := Run(Scenario{System: MFlow, Proto: TCP, Flows: 10, KernelCores: 10, AppCores: 5,
+			Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+		f, m = fr.KernelCPUStddev, mr.KernelCPUStddev
+	}
+	b.ReportMetric(f, "falcon-stddev")
+	b.ReportMetric(m, "mflow-stddev")
+}
+
+// BenchmarkFig13DataCaching regenerates Fig. 13: memcached latency.
+func BenchmarkFig13DataCaching(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		tab := r.Fig13()
+		_ = tab
+		c := RunDataCaching(CachingConfig{System: MFlow, Clients: 10,
+			Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond})
+		avg = float64(c.Avg) / 1000
+	}
+	b.ReportMetric(avg, "mflow-avg-µs")
+}
+
+// BenchmarkAblations regenerates the design-choice ablations from DESIGN.md.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_ = r.Ablations()
+	}
+}

@@ -1,0 +1,74 @@
+// Command mflowbench regenerates the paper's evaluation: every measured
+// table and figure (Figs. 4, 7, 8, 9, 10, 11, 12, 13) plus the design
+// ablations, printed as aligned text tables (optionally CSV).
+//
+// Examples:
+//
+//	mflowbench                  # everything, default windows
+//	mflowbench -fig 8           # just Fig. 8
+//	mflowbench -fig ablations   # just the ablation studies
+//	mflowbench -measure-ms 24   # longer (more stable) measurement windows
+//	mflowbench -csv             # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mflow/internal/bench"
+	"mflow/internal/sim"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|ablations|extensions|all")
+		measure = flag.Int("measure-ms", 12, "measured window per run (simulated ms)")
+		warmup  = flag.Int("warmup-ms", 3, "warmup per run (simulated ms)")
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	r := bench.NewRunner()
+	r.Warmup = sim.Duration(*warmup) * sim.Millisecond
+	r.Measure = sim.Duration(*measure) * sim.Millisecond
+	r.Seed = *seed
+
+	var tables []*bench.Table
+	switch *fig {
+	case "4":
+		tables = r.Fig4()
+	case "7":
+		tables = []*bench.Table{r.Fig7()}
+	case "8":
+		tables = r.Fig8()
+	case "9":
+		tables = r.Fig9()
+	case "10":
+		tables = r.Fig10()
+	case "11":
+		tables = r.Fig11()
+	case "12":
+		tables = []*bench.Table{r.Fig12()}
+	case "13":
+		tables = []*bench.Table{r.Fig13()}
+	case "ablations":
+		tables = r.Ablations()
+	case "extensions":
+		tables = r.Extensions()
+	case "all":
+		tables = r.All()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	for _, t := range tables {
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+}

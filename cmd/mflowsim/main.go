@@ -1,0 +1,120 @@
+// Command mflowsim runs one packet-processing scenario on the simulated
+// testbed and prints its measurements: throughput, latency distribution,
+// per-core CPU breakdown and ordering statistics.
+//
+// Examples:
+//
+//	mflowsim -system mflow -proto tcp -size 65536
+//	mflowsim -system vanilla -proto udp -size 65536 -cpu
+//	mflowsim -system mflow -proto tcp -batch 16 -split 3
+//	mflowsim -system mflow -flows 10 -kernel-cores 10 -app-cores 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mflow/internal/metrics"
+	"mflow/internal/overlay"
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "mflow", "system under test: native|vanilla|rps|falcon-dev|falcon-func|mflow")
+		proto   = flag.String("proto", "tcp", "transport: tcp|udp")
+		size    = flag.Int("size", 65536, "message size in bytes")
+		flows   = flag.Int("flows", 1, "concurrent flows")
+		kcores  = flag.Int("kernel-cores", 0, "kernel (softirq) cores (default 6; 10 for multi-flow)")
+		acores  = flag.Int("app-cores", 0, "application cores (default 1)")
+		window  = flag.Int("window", 0, "TCP sender window in segments (default 2048)")
+		batch   = flag.Int("batch", 0, "mflow micro-flow batch size (default 256)")
+		split   = flag.Int("split", 0, "mflow splitting cores (default 2)")
+		shared  = flag.Bool("shared-queue", false, "pin all overlay flows to one RSS queue (Docker outer-hash pathology)")
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+		measure = flag.Int("measure-ms", 24, "measured window (simulated milliseconds)")
+		warmup  = flag.Int("warmup-ms", 4, "warmup (simulated milliseconds)")
+		cpu     = flag.Bool("cpu", false, "print the per-core CPU utilization breakdown")
+		pcapOut = flag.String("pcap", "", "write wire-mode traffic to this pcap file (implies wire mode)")
+		wire    = flag.Bool("wire", false, "wire mode: real bytes end to end with integrity checks")
+		detect  = flag.Bool("autodetect", false, "split only detector-promoted elephant flows")
+		modelTX = flag.Bool("modeltx", false, "model the sender-side transmit pipeline explicitly")
+	)
+	flag.Parse()
+
+	sys, err := steering.ParseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var p skb.Proto
+	switch strings.ToLower(*proto) {
+	case "tcp":
+		p = skb.TCP
+	case "udp":
+		p = skb.UDP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown proto %q\n", *proto)
+		os.Exit(2)
+	}
+
+	var capture *os.File
+	if *pcapOut != "" {
+		f, err := os.Create(*pcapOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		capture = f
+		defer f.Close()
+		*wire = true
+	}
+
+	sc := overlay.Scenario{
+		System:      sys,
+		Proto:       p,
+		MsgSize:     *size,
+		Flows:       *flows,
+		KernelCores: *kcores,
+		AppCores:    *acores,
+		Window:      *window,
+		SharedQueue: *shared,
+		Seed:        *seed,
+		WireMode:    *wire,
+		Warmup:      sim.Duration(*warmup) * sim.Millisecond,
+		Measure:     sim.Duration(*measure) * sim.Millisecond,
+		ModelTX:     *modelTX,
+		MFlow:       overlay.MFlowConfig{BatchSize: *batch, SplitCores: *split, AutoDetect: *detect},
+	}
+	if *flows > 1 && *kcores == 0 {
+		sc.KernelCores = 10
+		sc.AppCores = 5
+	}
+
+	if capture != nil {
+		sc.Capture = capture
+	}
+	res := overlay.Run(sc)
+	fmt.Printf("scenario   %s\n", res.Scenario.Name())
+	fmt.Printf("throughput %.2f Gbps (%.0f msg/s, %d segments)\n", res.Gbps, res.MsgPerSec, res.DeliveredSegments)
+	fmt.Printf("latency    p50=%v  mean=%v  p99=%v\n",
+		sim.Duration(res.Latency.Median()), sim.Duration(int64(res.Latency.Mean())), sim.Duration(res.Latency.P99()))
+	fmt.Printf("gro        factor %.1f\n", res.GROFactor)
+	fmt.Printf("ordering   merge-point OOO: %d skbs / %d segments; delivered OOO: %d; tcp ofo: %d; merges: %d\n",
+		res.OOOSKBs, res.OOOSegments, res.DeliveredOutOfOrder, res.TCPOFOSegments, res.ReassemblySwitches)
+	fmt.Printf("drops      ring=%d socket=%d backlog=%d\n", res.DropsRing, res.DropsSock, res.DropsBacklog)
+	fmt.Printf("kernel cpu total=%.0f%% stddev=%.1fpp\n", res.KernelCPUTotal, res.KernelCPUStddev)
+	if *wire {
+		fmt.Printf("wire       integrity errors: %d\n", res.WireErrors)
+	}
+	if *pcapOut != "" {
+		fmt.Printf("pcap       written to %s\n", *pcapOut)
+	}
+	if *cpu {
+		fmt.Print(metrics.FormatCPU(res.CPU))
+	}
+}

@@ -1,0 +1,89 @@
+// Command mflowtrace runs a short scenario with per-packet tracing enabled
+// and prints the journeys of the first segments of a flow — which softirq
+// stage handled them, on which core, at what simulated time. It makes
+// MFLOW's splitting visible: consecutive micro-flows fan out to different
+// cores and re-converge at the merge point.
+//
+// Example:
+//
+//	mflowtrace -system mflow -proto tcp -segs 6
+//	mflowtrace -system falcon-dev -proto udp -segs 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mflow/internal/overlay"
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+	"mflow/internal/trace"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "mflow", "system under test")
+		proto  = flag.String("proto", "tcp", "transport: tcp|udp")
+		size   = flag.Int("size", 65536, "message size in bytes")
+		segs   = flag.Int("segs", 4, "number of segments to print journeys for")
+		batch  = flag.Int("batch", 0, "mflow micro-flow batch size")
+	)
+	flag.Parse()
+
+	sys, err := steering.ParseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p := skb.TCP
+	if strings.EqualFold(*proto, "udp") {
+		p = skb.UDP
+	}
+
+	tr := trace.New()
+	tr.OnlyFlow = 1
+	// Trace enough segments to cover a couple of micro-flow boundaries.
+	span := uint64(*segs)
+	if *batch > 0 {
+		span += uint64(*batch)
+	} else {
+		span += 256
+	}
+	tr.OnlySeqBelow = span
+
+	overlay.Run(overlay.Scenario{
+		System: sys, Proto: p, MsgSize: *size,
+		Tracer: tr,
+		MFlow:  overlay.MFlowConfig{BatchSize: *batch},
+		Warmup: 1 * sim.Millisecond, Measure: 1 * sim.Millisecond,
+	})
+
+	fmt.Printf("traced %d events across stages %v\n\n", len(tr.Events()), tr.Stages())
+	for s := 0; s < *segs; s++ {
+		fmt.Print(tr.RenderJourney(1, uint64(s)))
+	}
+	// And one segment from the next micro-flow, to show the fan-out.
+	if *batch != 1 {
+		b := uint64(*batch)
+		if b == 0 {
+			b = 256
+		}
+		fmt.Printf("\n(next micro-flow)\n")
+		fmt.Print(tr.RenderJourney(1, b))
+	}
+
+	fmt.Println("\nper-core stage occupancy (traced packets):")
+	occ := tr.CoreOccupancy()
+	cores := make([]int, 0, len(occ))
+	for c := range occ {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		fmt.Printf("  core %d: %v\n", c, occ[c])
+	}
+}

@@ -1,0 +1,34 @@
+// Batch tuning: the paper's Fig. 7 study — sweep MFLOW's micro-flow batch
+// size and watch out-of-order deliveries, GRO effectiveness and throughput
+// trade off. Demonstrates driving custom scenario parameters through the
+// public API.
+package main
+
+import (
+	"fmt"
+
+	"mflow"
+)
+
+func main() {
+	fmt.Println("Micro-flow batch size vs out-of-order delivery (TCP, 64KB messages)")
+	fmt.Println()
+	fmt.Printf("%-10s  %14s  %12s  %10s  %10s\n",
+		"batch", "OOO deliveries", "GRO factor", "Gbps", "merges")
+
+	for _, batch := range []int{1, 4, 16, 64, 256, 1024, 4096} {
+		res := mflow.Run(mflow.Scenario{
+			System:  mflow.MFlow,
+			Proto:   mflow.TCP,
+			MsgSize: 64 * 1024,
+			MFlow:   mflow.MFlowConfig{BatchSize: batch},
+		})
+		fmt.Printf("%-10d  %14d  %12.1f  %10.2f  %10d\n",
+			batch, res.OOOSKBs, res.GROFactor, res.Gbps, res.ReassemblySwitches)
+	}
+
+	fmt.Println()
+	fmt.Println("Small batches split at packet granularity: massive reordering and")
+	fmt.Println("no GRO merging. At the paper's choice of 256, order-preservation")
+	fmt.Println("overhead is negligible and GRO optimization is preserved.")
+}

@@ -1,0 +1,42 @@
+// Data caching: the paper's Fig. 13 scenario — a containerized memcached
+// server (4 threads, 550-byte objects) under GET load from a growing client
+// population, comparing request latency across steering systems.
+package main
+
+import (
+	"fmt"
+
+	"mflow"
+)
+
+func main() {
+	systems := []mflow.System{mflow.Vanilla, mflow.FalconDev, mflow.MFlow}
+
+	fmt.Println("CloudSuite-style data caching (memcached) over a Docker overlay")
+	fmt.Println("network: request latency avg/p99 in µs")
+	fmt.Println()
+	fmt.Printf("%-8s", "clients")
+	for _, sys := range systems {
+		fmt.Printf("  %18s", sys)
+	}
+	fmt.Println()
+
+	for _, clients := range []int{1, 2, 5, 10} {
+		fmt.Printf("%-8d", clients)
+		var base *mflow.CachingResult
+		for _, sys := range systems {
+			res := mflow.RunDataCaching(mflow.CachingConfig{System: sys, Clients: clients})
+			if sys == mflow.Vanilla {
+				base = res
+			}
+			fmt.Printf("  %8.0f/%-9.0f", float64(res.Avg)/1000, float64(res.P99)/1000)
+			if sys == mflow.MFlow && base != nil {
+				fmt.Printf("(avg %+.0f%%)", (float64(res.Avg)/float64(base.Avg)-1)*100)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("The benefit grows with load: more clients stress the in-kernel")
+	fmt.Println("stack, and MFLOW's packet-level parallelism absorbs it.")
+}

@@ -1,0 +1,51 @@
+// Web serving: the paper's Fig. 11 scenario — a containerized web stack
+// (web tier + memcached + mysql on one overlay network) serving closed-loop
+// users, comparing success-operation rates and response times across
+// steering systems.
+package main
+
+import (
+	"fmt"
+
+	"mflow"
+)
+
+func main() {
+	systems := []mflow.System{mflow.Vanilla, mflow.FalconDev, mflow.MFlow}
+	results := map[mflow.System]*mflow.WebResult{}
+	for _, sys := range systems {
+		results[sys] = mflow.RunWebServing(mflow.WebConfig{System: sys})
+	}
+
+	fmt.Println("CloudSuite-style web serving over a Docker overlay network")
+	fmt.Printf("(%d users; success = completed within the op deadline)\n\n", results[mflow.Vanilla].Config.Users)
+
+	fmt.Printf("%-16s", "operation")
+	for _, sys := range systems {
+		fmt.Printf("  %12s", sys)
+	}
+	fmt.Println("  (success op/s)")
+	ops := results[systems[0]].Ops
+	for i := range ops {
+		fmt.Printf("%-16s", ops[i].Name)
+		for _, sys := range systems {
+			fmt.Printf("  %12.0f", results[sys].Ops[i].SuccessPerSec)
+		}
+		fmt.Println()
+	}
+
+	v := results[mflow.Vanilla].TotalSuccessPerSec
+	f := results[mflow.FalconDev].TotalSuccessPerSec
+	m := results[mflow.MFlow].TotalSuccessPerSec
+	fmt.Printf("\ntotals: vanilla %.0f, falcon %.0f, mflow %.0f op/s (%.1fx vanilla, %.2fx falcon)\n",
+		v, f, m, m/v, m/f)
+
+	fmt.Println("\naverage response time (µs):")
+	for i := range ops {
+		fmt.Printf("%-16s", ops[i].Name)
+		for _, sys := range systems {
+			fmt.Printf("  %12.0f", float64(results[sys].Ops[i].AvgResponse)/1000)
+		}
+		fmt.Println()
+	}
+}

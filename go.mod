@@ -1,0 +1,3 @@
+module mflow
+
+go 1.22

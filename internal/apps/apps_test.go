@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"testing"
+
+	"mflow/internal/sim"
+	"mflow/internal/steering"
+)
+
+// quickWeb shrinks the web benchmark for unit tests.
+func quickWeb(sys steering.System) WebConfig {
+	return WebConfig{
+		System: sys,
+		Users:  150,
+		Warmup: 3 * sim.Millisecond, Measure: 12 * sim.Millisecond,
+	}
+}
+
+func quickCaching(sys steering.System, clients int) CachingConfig {
+	return CachingConfig{
+		System: sys, Clients: clients,
+		Warmup: 2 * sim.Millisecond, Measure: 8 * sim.Millisecond,
+	}
+}
+
+func TestWebServingRuns(t *testing.T) {
+	r := RunWebServing(quickWeb(steering.Vanilla))
+	if len(r.Ops) != len(DefaultWebOps()) {
+		t.Fatalf("got %d op results, want %d", len(r.Ops), len(DefaultWebOps()))
+	}
+	for _, op := range r.Ops {
+		if op.Issued == 0 {
+			t.Errorf("%s: no operations issued", op.Name)
+		}
+		if op.Completed > op.Issued {
+			t.Errorf("%s: completed %d > issued %d", op.Name, op.Completed, op.Issued)
+		}
+		if op.Successful > op.Completed {
+			t.Errorf("%s: successful %d > completed %d", op.Name, op.Successful, op.Completed)
+		}
+	}
+	if r.TotalSuccessPerSec <= 0 {
+		t.Error("no successful operations at all")
+	}
+}
+
+func TestWebServingDeterminism(t *testing.T) {
+	a := RunWebServing(quickWeb(steering.MFlow))
+	b := RunWebServing(quickWeb(steering.MFlow))
+	if a.TotalSuccessPerSec != b.TotalSuccessPerSec {
+		t.Errorf("same config diverged: %.0f vs %.0f", a.TotalSuccessPerSec, b.TotalSuccessPerSec)
+	}
+}
+
+func TestWebServingPaperShape(t *testing.T) {
+	// Fig. 11: MFLOW achieves a much higher success-operation rate than
+	// the vanilla overlay, and beats FALCON; response times drop.
+	v := RunWebServing(quickWeb(steering.Vanilla))
+	f := RunWebServing(quickWeb(steering.FalconDev))
+	m := RunWebServing(quickWeb(steering.MFlow))
+	if !(m.TotalSuccessPerSec > 1.5*v.TotalSuccessPerSec) {
+		t.Errorf("MFLOW success rate %.0f should be >1.5x vanilla %.0f",
+			m.TotalSuccessPerSec, v.TotalSuccessPerSec)
+	}
+	if !(m.TotalSuccessPerSec > f.TotalSuccessPerSec) {
+		t.Errorf("MFLOW success rate %.0f should beat FALCON %.0f",
+			m.TotalSuccessPerSec, f.TotalSuccessPerSec)
+	}
+	// Average response time: MFLOW under vanilla for every op type.
+	for i := range m.Ops {
+		if m.Ops[i].Completed == 0 || v.Ops[i].Completed == 0 {
+			continue
+		}
+		if !(m.Ops[i].AvgResponse < v.Ops[i].AvgResponse) {
+			t.Errorf("%s: MFLOW response %v should be under vanilla %v",
+				m.Ops[i].Name, m.Ops[i].AvgResponse, v.Ops[i].AvgResponse)
+		}
+	}
+}
+
+func TestWebOpMixDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, op := range DefaultWebOps() {
+		if seen[op.Name] {
+			t.Errorf("duplicate op %q", op.Name)
+		}
+		seen[op.Name] = true
+		if op.RequestB <= 0 || op.ResponseB <= 0 || op.Deadline <= 0 {
+			t.Errorf("%s: incomplete op definition", op.Name)
+		}
+		if op.TargetTime >= op.Deadline {
+			t.Errorf("%s: target %v must be below deadline %v", op.Name, op.TargetTime, op.Deadline)
+		}
+	}
+}
+
+func TestDataCachingRuns(t *testing.T) {
+	r := RunDataCaching(quickCaching(steering.Vanilla, 2))
+	if r.RequestsPerSec <= 0 {
+		t.Fatal("no requests completed")
+	}
+	if r.Latency.Count() == 0 || r.Avg <= 0 || r.P99 < r.Avg/2 {
+		t.Errorf("latency stats malformed: avg=%v p99=%v n=%d", r.Avg, r.P99, r.Latency.Count())
+	}
+}
+
+func TestDataCachingPaperShape(t *testing.T) {
+	// Fig. 13: MFLOW cuts average and tail latency vs vanilla, more so
+	// with more clients, and beats FALCON.
+	for _, clients := range []int{1, 10} {
+		v := RunDataCaching(quickCaching(steering.Vanilla, clients))
+		f := RunDataCaching(quickCaching(steering.FalconDev, clients))
+		m := RunDataCaching(quickCaching(steering.MFlow, clients))
+		if !(m.Avg < v.Avg) || !(m.P99 < v.P99) {
+			t.Errorf("clients=%d: MFLOW avg/p99 %v/%v should be under vanilla %v/%v",
+				clients, m.Avg, m.P99, v.Avg, v.P99)
+		}
+		if !(m.Avg < f.Avg) {
+			t.Errorf("clients=%d: MFLOW avg %v should be under FALCON %v", clients, m.Avg, f.Avg)
+		}
+	}
+	// Benefit grows with load: relative improvement at 10 clients should
+	// be at least that at 1 client (within tolerance).
+	v1 := RunDataCaching(quickCaching(steering.Vanilla, 1))
+	m1 := RunDataCaching(quickCaching(steering.MFlow, 1))
+	v10 := RunDataCaching(quickCaching(steering.Vanilla, 10))
+	m10 := RunDataCaching(quickCaching(steering.MFlow, 10))
+	red1 := 1 - float64(m1.Avg)/float64(v1.Avg)
+	red10 := 1 - float64(m10.Avg)/float64(v10.Avg)
+	if red10 < red1-0.10 {
+		t.Errorf("latency reduction should not shrink with load: %.0f%% @1 vs %.0f%% @10",
+			red1*100, red10*100)
+	}
+}
+
+func TestCachingConfigDefaults(t *testing.T) {
+	c := CachingConfig{}.withDefaults()
+	if c.Clients != 1 || c.ValueB != 550 || c.Threads != 4 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	w := WebConfig{}.withDefaults()
+	if w.Users != 400 || len(w.Ops) == 0 {
+		t.Errorf("web defaults wrong: users=%d ops=%d", w.Users, len(w.Ops))
+	}
+}

@@ -1,0 +1,364 @@
+package bench
+
+import (
+	"fmt"
+
+	"mflow/internal/apps"
+	"mflow/internal/metrics"
+	"mflow/internal/overlay"
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+)
+
+// MsgSizes is the message-size sweep of the paper's Figs. 4, 8 and 9.
+var MsgSizes = []int{16, 1024, 4096, 65536}
+
+// Runner executes and caches scenario runs so figures sharing sweeps
+// (4/8/9) pay for them once.
+type Runner struct {
+	// Warmup / Measure control run windows (defaults 3ms / 12ms; use
+	// longer windows for final numbers).
+	Warmup  sim.Duration
+	Measure sim.Duration
+	// Seed fixes all runs.
+	Seed uint64
+
+	cache map[string]*overlay.Result
+}
+
+// NewRunner returns a Runner with default windows.
+func NewRunner() *Runner {
+	return &Runner{Warmup: 3 * sim.Millisecond, Measure: 12 * sim.Millisecond}
+}
+
+func (r *Runner) run(sc overlay.Scenario) *overlay.Result {
+	if sc.Warmup == 0 {
+		sc.Warmup = r.Warmup
+	}
+	if sc.Measure == 0 {
+		sc.Measure = r.Measure
+	}
+	if sc.Seed == 0 {
+		sc.Seed = r.Seed
+	}
+	key := fmt.Sprintf("%+v", sc) // full scenario (pointers included) keys the cache
+	if r.cache == nil {
+		r.cache = make(map[string]*overlay.Result)
+	}
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	res := overlay.Run(sc)
+	r.cache[key] = res
+	return res
+}
+
+func (r *Runner) single(sys steering.System, proto skb.Proto, size int) *overlay.Result {
+	return r.run(overlay.Scenario{System: sys, Proto: proto, MsgSize: size})
+}
+
+func sizeLabel(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return fmt.Sprintf("%dKB", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// throughputTable renders one protocol's size×system throughput sweep.
+func (r *Runner) throughputTable(id, title string, proto skb.Proto, systems []steering.System) *Table {
+	t := &Table{ID: id, Title: title}
+	t.Columns = []string{"msg size"}
+	for _, s := range systems {
+		t.Columns = append(t.Columns, s.String()+" (Gbps)")
+	}
+	for _, size := range MsgSizes {
+		row := []string{sizeLabel(size)}
+		for _, s := range systems {
+			row = append(row, gbps(r.single(s, proto, size).Gbps))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// cpuNotes renders a per-core utilization breakdown for a scenario result.
+func cpuNotes(label string, res *overlay.Result) []string {
+	notes := []string{label + ":"}
+	for _, line := range splitLines(metrics.FormatCPU(res.CPU)) {
+		notes = append(notes, line)
+	}
+	return notes
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == '\n' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(c)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Fig4 reproduces Fig. 4: single-flow throughput and CPU utilization of the
+// state-of-the-art systems (no MFLOW yet — that is Fig. 8).
+func (r *Runner) Fig4() []*Table {
+	systems := []steering.System{steering.Native, steering.Vanilla, steering.RPS, steering.FalconDev, steering.FalconFunc}
+	tcp := r.throughputTable("fig4a-tcp", "Single-flow TCP throughput, state of the art", skb.TCP, systems)
+	udp := r.throughputTable("fig4a-udp", "Single-flow UDP throughput, state of the art (3 clients)", skb.UDP, systems)
+
+	cpu := &Table{ID: "fig4b", Title: "CPU utilization breakdown at 64KB (per core, per softirq)"}
+	cpu.Columns = []string{"system", "kernel cores busy", "stddev (pp)"}
+	for _, sys := range systems {
+		res := r.single(sys, skb.TCP, 65536)
+		hot := 0
+		for _, c := range res.CPU[1:] {
+			if c.Total > 0.10 {
+				hot++
+			}
+		}
+		cpu.Rows = append(cpu.Rows, []string{sys.String(), fmt.Sprintf("%d", hot), fmt.Sprintf("%.1f", res.KernelCPUStddev)})
+		cpu.Notes = append(cpu.Notes, cpuNotes("TCP/"+sys.String(), res)...)
+	}
+	return []*Table{tcp, udp, cpu}
+}
+
+// Fig7 reproduces Fig. 7: out-of-order deliveries at the merge point versus
+// the micro-flow batch size (TCP, 64KB messages).
+func (r *Runner) Fig7() *Table {
+	t := &Table{ID: "fig7", Title: "Out-of-order delivery vs micro-flow batch size (TCP 64KB)"}
+	t.Columns = []string{"batch size", "OOO deliveries", "OOO segments", "reassembly switches", "throughput (Gbps)"}
+	for _, b := range []int{1, 4, 16, 64, 256, 1024, 4096} {
+		res := r.run(overlay.Scenario{
+			System: steering.MFlow, Proto: skb.TCP, MsgSize: 65536,
+			MFlow: overlay.MFlowConfig{BatchSize: b},
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", b),
+			fmt.Sprintf("%d", res.OOOSKBs),
+			fmt.Sprintf("%d", res.OOOSegments),
+			fmt.Sprintf("%d", res.ReassemblySwitches),
+			gbps(res.Gbps),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Paper: OOO work becomes negligible at batch >= 256; small batches also defeat GRO.")
+	return t
+}
+
+// Fig8 reproduces Fig. 8: MFLOW against every baseline (8a) and its per-core
+// CPU breakdown in the full-path (TCP) and device-scaling (UDP) layouts (8b).
+func (r *Runner) Fig8() []*Table {
+	tcp := r.throughputTable("fig8a-tcp", "Single-flow TCP throughput incl. MFLOW", skb.TCP, steering.Systems)
+	udp := r.throughputTable("fig8a-udp", "Single-flow UDP throughput incl. MFLOW (3 clients)", skb.UDP, steering.Systems)
+
+	// Headline ratios at 64KB.
+	sum := &Table{ID: "fig8a-summary", Title: "Headline comparisons at 64KB (paper: TCP +81%/UDP +139% over vanilla; TCP 29.8 vs native 26.6)"}
+	sum.Columns = []string{"metric", "paper", "measured"}
+	gT := func(s steering.System) float64 { return r.single(s, skb.TCP, 65536).Gbps }
+	gU := func(s steering.System) float64 { return r.single(s, skb.UDP, 65536).Gbps }
+	sum.Rows = [][]string{
+		{"TCP mflow vs vanilla", "+81%", pct(gT(steering.MFlow) / gT(steering.Vanilla))},
+		{"UDP mflow vs vanilla", "+139%", pct(gU(steering.MFlow) / gU(steering.Vanilla))},
+		{"TCP mflow vs falcon", "+22%", pct(gT(steering.MFlow) / gT(steering.FalconFunc))},
+		{"UDP mflow vs falcon", "+21%", pct(gU(steering.MFlow) / gU(steering.FalconDev))},
+		{"TCP mflow (Gbps)", "29.8", gbps(gT(steering.MFlow))},
+		{"TCP native (Gbps)", "26.6", gbps(gT(steering.Native))},
+	}
+
+	cpu := &Table{ID: "fig8b", Title: "MFLOW per-core CPU breakdown at 64KB"}
+	cpu.Columns = []string{"config", "GRO factor", "merge switches"}
+	tcpRes := r.single(steering.MFlow, skb.TCP, 65536)
+	udpRes := r.single(steering.MFlow, skb.UDP, 65536)
+	cpu.Rows = [][]string{
+		{"TCP full-path scaling", fmt.Sprintf("%.1f", tcpRes.GROFactor), fmt.Sprintf("%d", tcpRes.ReassemblySwitches)},
+		{"UDP device scaling", fmt.Sprintf("%.1f", udpRes.GROFactor), fmt.Sprintf("%d", udpRes.ReassemblySwitches)},
+	}
+	cpu.Notes = append(cpu.Notes, cpuNotes("TCP full path", tcpRes)...)
+	cpu.Notes = append(cpu.Notes, cpuNotes("UDP device scaling", udpRes)...)
+	return []*Table{tcp, udp, sum, cpu}
+}
+
+// Fig9 reproduces Fig. 9: per-message latency under maximum load.
+func (r *Runner) Fig9() []*Table {
+	var tables []*Table
+	for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+		t := &Table{
+			ID:    fmt.Sprintf("fig9-%s", proto),
+			Title: fmt.Sprintf("%s latency under max load (median / p99, µs)", proto),
+		}
+		t.Columns = []string{"msg size"}
+		for _, s := range steering.Systems {
+			t.Columns = append(t.Columns, s.String())
+		}
+		for _, size := range MsgSizes {
+			row := []string{sizeLabel(size)}
+			for _, s := range steering.Systems {
+				res := r.single(s, proto, size)
+				row = append(row, fmt.Sprintf("%.0f/%.0f",
+					float64(res.Latency.Median())/1000,
+					float64(res.Latency.P99())/1000))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			"Paper: MFLOW cuts vanilla-overlay median latency ~46% and p99 ~21% at 64KB TCP.")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig10 reproduces Fig. 10: multi-flow TCP throughput (5 app cores, 10
+// kernel cores) for 16B / 4KB / 64KB messages.
+func (r *Runner) Fig10() []*Table {
+	flowCounts := []int{1, 5, 10, 15, 20}
+	systems := []steering.System{steering.Vanilla, steering.FalconDev, steering.MFlow}
+	var tables []*Table
+	for _, size := range []int{16, 4096, 65536} {
+		t := &Table{
+			ID:    fmt.Sprintf("fig10-%s", sizeLabel(size)),
+			Title: fmt.Sprintf("Multi-flow TCP aggregate throughput, %s messages (Gbps)", sizeLabel(size)),
+		}
+		t.Columns = []string{"flows"}
+		for _, s := range systems {
+			t.Columns = append(t.Columns, s.String())
+		}
+		for _, n := range flowCounts {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, s := range systems {
+				res := r.run(overlay.Scenario{
+					System: s, Proto: skb.TCP, MsgSize: size,
+					Flows: n, KernelCores: 10, AppCores: 5,
+				})
+				row = append(row, gbps(res.Gbps))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			"Paper: MFLOW's advantage shrinks as flows grow (24% @5 flows, 11% @10, 5% @20 for 4KB).")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig12 reproduces Fig. 12: per-core CPU load balance under 10 concurrent
+// 64KB TCP flows — FALCON vs MFLOW standard deviation.
+func (r *Runner) Fig12() *Table {
+	t := &Table{ID: "fig12", Title: "CPU load balance, 10 flows x 64KB TCP on 10 kernel cores"}
+	t.Columns = []string{"system", "kernel CPU total (%)", "stddev (pp)", "throughput (Gbps)"}
+	for _, s := range []steering.System{steering.FalconDev, steering.MFlow} {
+		res := r.run(overlay.Scenario{
+			System: s, Proto: skb.TCP, MsgSize: 65536,
+			Flows: 10, KernelCores: 10, AppCores: 5,
+		})
+		t.Rows = append(t.Rows, []string{
+			s.String(),
+			fmt.Sprintf("%.0f", res.KernelCPUTotal),
+			fmt.Sprintf("%.1f", res.KernelCPUStddev),
+			gbps(res.Gbps),
+		})
+		t.Notes = append(t.Notes, cpuNotes(s.String(), res)...)
+	}
+	t.Notes = append(t.Notes, "Paper: stddev of per-core utilization 20.5 (FALCON) vs 11.6 (MFLOW).")
+	return t
+}
+
+// Fig11 reproduces Fig. 11: the web-serving benchmark (success operation
+// rate, response time, delay time per operation type).
+func (r *Runner) Fig11() []*Table {
+	systems := []steering.System{steering.Vanilla, steering.FalconDev, steering.MFlow}
+	results := map[steering.System]*apps.WebResult{}
+	for _, s := range systems {
+		results[s] = apps.RunWebServing(apps.WebConfig{
+			System: s,
+			Warmup: r.Warmup, Measure: 2 * r.Measure,
+			Seed: r.Seed,
+		})
+	}
+	ops := results[systems[0]].Ops
+
+	succ := &Table{ID: "fig11a", Title: "Web serving: success operations/sec per op type"}
+	resp := &Table{ID: "fig11b", Title: "Web serving: average response time (µs)"}
+	delay := &Table{ID: "fig11c", Title: "Web serving: average delay time beyond target (µs)"}
+	for _, t := range []*Table{succ, resp, delay} {
+		t.Columns = []string{"operation"}
+		for _, s := range systems {
+			t.Columns = append(t.Columns, s.String())
+		}
+	}
+	for i := range ops {
+		rs := []string{ops[i].Name}
+		rr := []string{ops[i].Name}
+		rd := []string{ops[i].Name}
+		for _, s := range systems {
+			op := results[s].Ops[i]
+			rs = append(rs, fmt.Sprintf("%.0f", op.SuccessPerSec))
+			rr = append(rr, fmt.Sprintf("%.0f", float64(op.AvgResponse)/1000))
+			rd = append(rd, fmt.Sprintf("%.0f", float64(op.AvgDelay)/1000))
+		}
+		succ.Rows = append(succ.Rows, rs)
+		resp.Rows = append(resp.Rows, rr)
+		delay.Rows = append(delay.Rows, rd)
+	}
+	succ.Notes = append(succ.Notes,
+		fmt.Sprintf("Totals: vanilla=%.0f falcon=%.0f mflow=%.0f op/s (paper: MFLOW 2.3-7.5x vanilla, 1.5-3.6x FALCON)",
+			results[steering.Vanilla].TotalSuccessPerSec,
+			results[steering.FalconDev].TotalSuccessPerSec,
+			results[steering.MFlow].TotalSuccessPerSec))
+	resp.Notes = append(resp.Notes, "Paper: MFLOW cuts average response time 35-65% vs vanilla, 22-54% vs FALCON.")
+	delay.Notes = append(delay.Notes, "Paper: MFLOW cuts average delay time up to 75% vs vanilla, 36-73% vs FALCON.")
+	return []*Table{succ, resp, delay}
+}
+
+// Fig13 reproduces Fig. 13: the data-caching (memcached) benchmark's
+// average and 99th-percentile latency for 1-10 clients.
+func (r *Runner) Fig13() *Table {
+	t := &Table{ID: "fig13", Title: "Data caching (memcached): request latency (avg / p99, µs)"}
+	systems := []steering.System{steering.Vanilla, steering.FalconDev, steering.MFlow}
+	t.Columns = []string{"clients"}
+	for _, s := range systems {
+		t.Columns = append(t.Columns, s.String())
+	}
+	for _, n := range []int{1, 5, 10} {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, s := range systems {
+			res := apps.RunDataCaching(apps.CachingConfig{
+				System: s, Clients: n,
+				Warmup: r.Warmup, Measure: r.Measure,
+				Seed: r.Seed,
+			})
+			row = append(row, fmt.Sprintf("%.0f/%.0f",
+				float64(res.Avg)/1000, float64(res.P99)/1000))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"Paper: MFLOW cuts p99 26% at 1 client; avg/p99 48%/47% at 10 clients; 22%/33% vs FALCON.")
+	return t
+}
+
+// All regenerates every figure in paper order.
+func (r *Runner) All() []*Table {
+	var out []*Table
+	out = append(out, r.Fig4()...)
+	out = append(out, r.Fig7())
+	out = append(out, r.Fig8()...)
+	out = append(out, r.Fig9()...)
+	out = append(out, r.Fig10()...)
+	out = append(out, r.Fig11()...)
+	out = append(out, r.Fig12())
+	out = append(out, r.Fig13())
+	out = append(out, r.Ablations()...)
+	out = append(out, r.Extensions()...)
+	return out
+}

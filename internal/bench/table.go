@@ -1,0 +1,82 @@
+// Package bench regenerates every measured table and figure of the paper's
+// evaluation (§V): single-flow throughput and CPU breakdowns (Figs. 4, 8),
+// the batch-size/out-of-order study (Fig. 7), latency under load (Fig. 9),
+// multi-flow scaling (Fig. 10), CPU balance (Fig. 12), and the two
+// application benchmarks (Figs. 11, 13), plus ablations over MFLOW's design
+// choices. Each experiment returns a Table renderable as text or CSV.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's rendered result.
+type Table struct {
+	// ID is the figure identifier ("fig8a-tcp"); Title describes it.
+	ID    string
+	Title string
+	// Columns and Rows are the tabular data (all strings, pre-formatted).
+	Columns []string
+	Rows    [][]string
+	// Notes carry free-form lines printed under the table (CPU
+	// breakdowns, paper-vs-measured commentary).
+	Notes []string
+}
+
+// Render returns an aligned plain-text rendering.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV returns a comma-separated rendering (quotes-free fields assumed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// gbps formats a throughput cell.
+func gbps(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a relative change cell ("+81%").
+func pct(ratio float64) string { return fmt.Sprintf("%+.0f%%", (ratio-1)*100) }

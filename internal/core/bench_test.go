@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+func BenchmarkSplitterDispatch(b *testing.B) {
+	s := sim.NewScheduler(1)
+	cores := sim.NewCores(3, s)
+	sp := &Splitter{BatchSize: 256, Core: cores[0]}
+	for i := 1; i < 3; i++ {
+		sp.Targets = append(sp.Targets, sim.NewWorker("t", cores[i], s,
+			func(*skb.SKB) sim.Duration { return 1 }, func(*skb.SKB, sim.Time) {}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Dispatch(&skb.SKB{FlowID: 1, Seq: uint64(i), Segs: 1})
+		if i%4096 == 4095 {
+			s.Run() // drain targets so queues stay bounded
+		}
+	}
+}
+
+func BenchmarkReassemblerInOrder(b *testing.B) {
+	r := NewReassembler(2, 256, func(*skb.SKB) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &skb.SKB{FlowID: 1, Seq: uint64(i), Segs: 1}
+		s.MicroFlow = r.counter // always current: pure pass-through cost
+		s.MicroFlow = uint64(i)/256 + 1
+		if err := r.Arrive(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReassemblerReordered(b *testing.B) {
+	// Whole micro-flows arrive in swapped pairs (the later one first):
+	// worst-case buffering for the merging counter.
+	const batch = 64
+	r := NewReassembler(2, batch, func(*skb.SKB) {})
+	sp := &Splitter{BatchSize: batch}
+	feed := func(mf uint64) {
+		start := (mf - 1) * batch
+		for j := uint64(0); j < batch; j++ {
+			s := &skb.SKB{FlowID: 1, Seq: start + j, Segs: 1}
+			s.MicroFlow = sp.MicroFlowOf(s.Seq)
+			if err := r.Arrive(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	mf := uint64(1)
+	for i := 0; i < b.N; i += 2 * batch {
+		feed(mf + 1) // buffered: its turn has not come
+		feed(mf)     // drains both
+		mf += 2
+	}
+}

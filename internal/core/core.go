@@ -1,0 +1,171 @@
+// Package core implements MFLOW, the paper's contribution: packet-level
+// parallelism for a single network flow inside the (simulated) kernel
+// receive path.
+//
+// MFLOW splits the packets of one flow into micro-flows — batches of
+// consecutive segments — and processes different micro-flows on different
+// cores in parallel, then restores arrival order with a batch-based
+// reassembler before the stateful TCP layer or user-space delivery. Three
+// mechanisms from the paper are implemented:
+//
+//   - Splitter: the flow-splitting function, a re-purposed stage transition
+//     (netif_rx) that stamps each skb with a micro-flow ID and enqueues it
+//     on a per-core, per-device splitting queue (paper Fig. 6a).
+//   - The same Splitter placed *before* skb allocation acts as the
+//     IRQ-splitting function: it dispatches lightweight driver requests to
+//     per-core request rings so even skb allocation parallelizes
+//     (paper Fig. 6b); the overlay topology chooses the placement.
+//   - Reassembler: per-core buffer queues plus a global merging counter
+//     that drains whole micro-flows in ID order, re-establishing the
+//     original packet order at batch granularity instead of per-packet
+//     (paper Fig. 6c).
+package core
+
+import (
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+// DefaultBatchSize is the paper's chosen micro-flow batch size: 256
+// segments, at which point order-preservation overhead becomes negligible
+// (paper Fig. 7).
+const DefaultBatchSize = 256
+
+// Splitter divides one flow's segment stream into micro-flows and spreads
+// them round-robin across splitting queues on separate cores.
+type Splitter struct {
+	// BatchSize is the number of consecutive segments per micro-flow.
+	BatchSize int
+	// Targets are the per-core splitting queues (paper Fig. 6a step 1).
+	// Micro-flow k goes to Targets[(k-1) % len(Targets)].
+	Targets []*sim.Worker[*skb.SKB]
+	// Core is the dispatching core (charged DispatchCost per skb and
+	// IPICost when waking an idle target).
+	Core *sim.Core
+	// DispatchCost is the per-skb cost of enqueueing onto a splitting
+	// queue. For IRQ-splitting this is small: requests are lightweight
+	// descriptors, not skbs (paper §III-A, footnote 3).
+	DispatchCost sim.Duration
+	// IPICost is charged when a softirq must be raised on an idle target
+	// core via inter-processor interrupt.
+	IPICost sim.Duration
+
+	// Gate, when set, reports whether the flow currently classifies as
+	// an elephant (see Detector). While the gate is closed the splitter
+	// routes every micro-flow to target 0 — single-core processing, but
+	// still through the reassembler, so classification changes (applied
+	// at micro-flow boundaries) never reorder packets.
+	Gate func() bool
+
+	// Dispatched counts skbs sent to splitting queues; IPIs counts
+	// remote wakeups raised.
+	Dispatched uint64
+	IPIs       uint64
+	// MiceMicroFlows counts micro-flows routed unsplit by the gate.
+	MiceMicroFlows uint64
+
+	routes map[uint64]int
+	maxMF  uint64
+}
+
+// RouteState describes what the splitter knows about a micro-flow's route.
+type RouteState int
+
+// Route lookup outcomes.
+const (
+	// RouteFuture: the micro-flow has not been dispatched yet.
+	RouteFuture RouteState = iota
+	// RouteKnown: the micro-flow was dispatched to the returned target.
+	RouteKnown
+	// RouteExpired: dispatched long ago; the memo was pruned.
+	RouteExpired
+)
+
+// Route reports where micro-flow mf was (or will deterministically be)
+// routed. The reassembler uses it to distinguish "still in flight" from
+// "lost upstream" when a gate sends traffic off-formula.
+func (sp *Splitter) Route(mf uint64) (int, RouteState) {
+	if sp.Gate == nil {
+		if mf > sp.maxMF {
+			return sp.TargetOf(mf), RouteFuture
+		}
+		return sp.TargetOf(mf), RouteKnown
+	}
+	if mf > sp.maxMF {
+		return 0, RouteFuture
+	}
+	if t, ok := sp.routes[mf]; ok {
+		return t, RouteKnown
+	}
+	return 0, RouteExpired
+}
+
+// MicroFlowOf returns the 1-based micro-flow ID of a segment sequence.
+func (sp *Splitter) MicroFlowOf(seq uint64) uint64 {
+	b := sp.BatchSize
+	if b <= 0 {
+		b = DefaultBatchSize
+	}
+	return seq/uint64(b) + 1
+}
+
+// TargetOf returns the splitting-queue index serving micro-flow mf.
+func (sp *Splitter) TargetOf(mf uint64) int {
+	return int((mf - 1) % uint64(len(sp.Targets)))
+}
+
+// routeOf picks (and memoizes) the target for a micro-flow. The decision is
+// made once, at the micro-flow's first segment, so a gate flipping
+// mid-batch cannot scatter one micro-flow across cores.
+func (sp *Splitter) routeOf(mf uint64) int {
+	if mf > sp.maxMF {
+		sp.maxMF = mf
+	}
+	if sp.Gate == nil {
+		return sp.TargetOf(mf)
+	}
+	if sp.routes == nil {
+		sp.routes = make(map[uint64]int)
+	}
+	if tgt, ok := sp.routes[mf]; ok {
+		return tgt
+	}
+	tgt := 0
+	if sp.Gate() {
+		tgt = sp.TargetOf(mf)
+	} else {
+		sp.MiceMicroFlows++
+	}
+	sp.routes[mf] = tgt
+	if mf > sp.maxMF {
+		sp.maxMF = mf
+	}
+	if len(sp.routes) > 4096 {
+		for k := range sp.routes {
+			if k+2048 < mf {
+				delete(sp.routes, k)
+			}
+		}
+	}
+	return tgt
+}
+
+// Dispatch stamps s with its micro-flow ID and enqueues it on the owning
+// splitting queue, raising an IPI if the target was idle.
+func (sp *Splitter) Dispatch(s *skb.SKB) {
+	mf := sp.MicroFlowOf(s.Seq)
+	s.MicroFlow = mf
+	s.Branch = sp.routeOf(mf)
+	t := sp.Targets[s.Branch]
+	if sp.Core != nil && sp.DispatchCost > 0 {
+		sp.Core.Exec(sp.DispatchCost, "mflow-split")
+	}
+	if t.Idle() {
+		sp.IPIs++
+		if sp.Core != nil && sp.IPICost > 0 {
+			sp.Core.Exec(sp.IPICost, "ipi")
+		}
+	}
+	sp.Dispatched++
+	t.Enqueue(s)
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+// Reassembler restores a split flow's original segment order using the
+// paper's batch-based mechanism (Fig. 6c): one buffer queue per splitting
+// core and a global merging counter holding the micro-flow ID currently
+// being merged. Because every micro-flow travels one core's FIFO path, each
+// buffer queue receives its micro-flows in order; the merger therefore only
+// ever inspects queue heads — it drains the current micro-flow's queue until
+// the head carries a different ID (or the batch's segment coverage
+// completes), then rotates to the next queue. Cost-wise this is a per-batch
+// operation: a SwitchCost per micro-flow rotation plus a small PerSKB move,
+// in contrast to the kernel's per-packet out-of-order queue.
+type Reassembler struct {
+	// BatchSize is the splitter's micro-flow batch size (segments).
+	BatchSize int
+	// Deliver receives skbs in restored order (e.g. the TCP layer for
+	// early merging, or the socket receive queue for late merging).
+	Deliver func(*skb.SKB)
+	// Core is the merging thread's CPU (the paper adds merging to the
+	// existing delivery thread, tcp_recvmsg/udp_recvmsg).
+	Core *sim.Core
+	// SwitchCost is charged per micro-flow rotation; PerSKB per skb
+	// moved from a buffer queue to the next stage.
+	SwitchCost sim.Duration
+	PerSKB     sim.Duration
+	// AllowGaps tolerates missing segments inside a micro-flow
+	// (connectionless flows can lose datagrams to queue overflow; TCP
+	// paths keep the strict contiguity invariant).
+	AllowGaps bool
+	// TagRouting files arrivals by the skb's Branch tag instead of the
+	// round-robin formula — required when a Splitter gate (elephant
+	// detection) routes micro-flows off-formula.
+	TagRouting bool
+	// RouteOf, when set with TagRouting, lets the merger ask the
+	// splitter where a micro-flow was routed, distinguishing "still in
+	// flight" from "lost upstream" (see Splitter.Route).
+	RouteOf func(mf uint64) (int, RouteState)
+
+	// OOOSegments counts wire segments that arrived at the merge point
+	// while an earlier segment was still outstanding — the paper's
+	// Fig. 7 metric. OOOSKBs counts the skbs carrying them.
+	OOOSegments uint64
+	OOOSKBs     uint64
+	// DeliveredSegments counts segments passed downstream.
+	DeliveredSegments uint64
+	// Switches counts micro-flow rotations performed.
+	Switches uint64
+	// StaleSKBs counts skbs delivered behind the merging counter after
+	// loss made their batch look complete (AllowGaps mode only).
+	StaleSKBs uint64
+	// BufferedPeak is the maximum total skbs parked across all queues.
+	BufferedPeak int
+
+	queues      [][]*skb.SKB
+	counter     uint64 // micro-flow currently merged (1-based)
+	expectedSeq uint64 // next segment sequence to deliver
+	arrivedMax  uint64 // highest EndSeq seen at the merge point
+	buffered    int
+}
+
+// NewReassembler returns a reassembler for a flow split across numQueues
+// splitting cores with the given batch size.
+func NewReassembler(numQueues, batchSize int, deliver func(*skb.SKB)) *Reassembler {
+	if numQueues <= 0 {
+		numQueues = 1
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &Reassembler{
+		BatchSize: batchSize,
+		Deliver:   deliver,
+		queues:    make([][]*skb.SKB, numQueues),
+		counter:   1,
+	}
+}
+
+// Buffered returns the number of skbs currently parked awaiting their turn.
+func (r *Reassembler) Buffered() int { return r.buffered }
+
+// Counter returns the micro-flow ID currently being merged.
+func (r *Reassembler) Counter() uint64 { return r.counter }
+
+// ExpectedSeq returns the next segment sequence the merger will deliver.
+func (r *Reassembler) ExpectedSeq() uint64 { return r.expectedSeq }
+
+// Arrive accepts an skb from a splitting core's processing path and pumps
+// the merger. skbs must carry the MicroFlow stamp from the Splitter.
+func (r *Reassembler) Arrive(s *skb.SKB) error {
+	if s.MicroFlow == 0 {
+		return fmt.Errorf("reassembler: %v has no micro-flow stamp", s)
+	}
+	if s.Seq < r.arrivedMax {
+		// A segment already arrived with a higher sequence: this
+		// arrival is an inversion (the classic reordering metric).
+		r.OOOSKBs++
+		r.OOOSegments += uint64(s.Segs)
+	}
+	if end := s.EndSeq(); end > r.arrivedMax {
+		r.arrivedMax = end
+	}
+	qi := int((s.MicroFlow - 1) % uint64(len(r.queues)))
+	if r.TagRouting {
+		qi = s.Branch % len(r.queues)
+	}
+	r.queues[qi] = append(r.queues[qi], s)
+	r.buffered++
+	if r.buffered > r.BufferedPeak {
+		r.BufferedPeak = r.buffered
+	}
+	r.pump()
+	return nil
+}
+
+// pump drains whole micro-flows in counter order while queue heads allow.
+func (r *Reassembler) pump() {
+	if r.TagRouting {
+		r.pumpTagged()
+		return
+	}
+	for {
+		qi := int((r.counter - 1) % uint64(len(r.queues)))
+		q := r.queues[qi]
+		if len(q) == 0 {
+			return // current micro-flow still in flight on its core
+		}
+		head := q[0]
+		if head.MicroFlow > r.counter {
+			// The queue is FIFO per core, so a later micro-flow at the
+			// head means the current one ended short (final partial
+			// batch or datagram loss): rotate.
+			r.advance()
+			continue
+		}
+		if head.MicroFlow < r.counter {
+			// A micro-flow the merger already rotated past (possible
+			// only when loss made an earlier batch look complete):
+			// deliver it immediately rather than stalling the stream.
+			if !r.AllowGaps {
+				panic(fmt.Sprintf("reassembler: stale %v behind counter %d", head, r.counter))
+			}
+			r.StaleSKBs++
+			r.queues[qi] = q[1:]
+			r.buffered--
+			r.DeliveredSegments += uint64(head.Segs)
+			if r.Core != nil && r.PerSKB > 0 {
+				r.Core.Exec(r.PerSKB, "mflow-merge")
+			}
+			r.Deliver(head)
+			continue
+		}
+		if head.Seq != r.expectedSeq {
+			if !r.AllowGaps {
+				// Within a micro-flow the core's FIFO preserves order;
+				// a gap here would mean segment loss, which a TCP path
+				// never produces in the simulation.
+				panic(fmt.Sprintf("reassembler: head %v but expected seq %d", head, r.expectedSeq))
+			}
+			// Datagram loss upstream: skip over the hole (forward only).
+			if head.Seq > r.expectedSeq {
+				r.expectedSeq = head.Seq
+			}
+		}
+		r.queues[qi] = q[1:]
+		r.buffered--
+		r.expectedSeq = head.EndSeq()
+		r.DeliveredSegments += uint64(head.Segs)
+		if r.Core != nil && r.PerSKB > 0 {
+			r.Core.Exec(r.PerSKB, "mflow-merge")
+		}
+		r.Deliver(head)
+		// Advance over every batch boundary the delivery crossed (a
+		// GRO super-packet can straddle boundaries when one core
+		// serves adjacent micro-flows).
+		for r.expectedSeq >= r.counter*uint64(r.BatchSize) {
+			r.advance()
+		}
+	}
+}
+
+// pumpTagged is the merge loop for tag-routed arrivals, where the counter's
+// micro-flow may live on any queue (a Splitter gate routes mice
+// off-formula). The per-branch FIFO argument still holds: while the
+// counter's micro-flow is in flight on its branch, that branch's buffer
+// queue can only hold earlier micro-flows; so if every non-empty queue head
+// is ahead of the counter, the counter's micro-flow is complete and the
+// merger rotates.
+func (r *Reassembler) pumpTagged() {
+	for {
+		progressed := false
+		// Drain any stale heads (micro-flows rotated past under loss).
+		for i := range r.queues {
+			for len(r.queues[i]) > 0 && r.queues[i][0].MicroFlow < r.counter {
+				if !r.AllowGaps {
+					panic(fmt.Sprintf("reassembler: stale %v behind counter %d", r.queues[i][0], r.counter))
+				}
+				head := r.queues[i][0]
+				r.queues[i] = r.queues[i][1:]
+				r.buffered--
+				r.StaleSKBs++
+				r.DeliveredSegments += uint64(head.Segs)
+				if r.Core != nil && r.PerSKB > 0 {
+					r.Core.Exec(r.PerSKB, "mflow-merge")
+				}
+				r.Deliver(head)
+				progressed = true
+			}
+		}
+		// Locate the queue carrying the counter's micro-flow.
+		cur := -1
+		anyEmpty := false
+		for i, q := range r.queues {
+			if len(q) == 0 {
+				anyEmpty = true
+				continue
+			}
+			if q[0].MicroFlow == r.counter {
+				cur = i
+				break
+			}
+		}
+		if cur == -1 {
+			if r.RouteOf != nil {
+				tgt, state := r.RouteOf(r.counter)
+				switch state {
+				case RouteFuture:
+					return // not dispatched yet
+				case RouteExpired:
+					r.advance() // ancient and absent: lost
+					continue
+				default:
+					if len(r.queues[tgt%len(r.queues)]) == 0 {
+						return // in flight on its branch
+					}
+					r.advance() // its branch moved past it: lost
+					continue
+				}
+			}
+			if anyEmpty {
+				if progressed {
+					continue
+				}
+				return // the counter's micro-flow may still be in flight
+			}
+			r.advance() // every head is ahead: the micro-flow is complete
+			continue
+		}
+		head := r.queues[cur][0]
+		if head.Seq != r.expectedSeq {
+			if !r.AllowGaps {
+				panic(fmt.Sprintf("reassembler: head %v but expected seq %d", head, r.expectedSeq))
+			}
+			if head.Seq > r.expectedSeq {
+				r.expectedSeq = head.Seq
+			}
+		}
+		r.queues[cur] = r.queues[cur][1:]
+		r.buffered--
+		r.expectedSeq = head.EndSeq()
+		r.DeliveredSegments += uint64(head.Segs)
+		if r.Core != nil && r.PerSKB > 0 {
+			r.Core.Exec(r.PerSKB, "mflow-merge")
+		}
+		r.Deliver(head)
+		for r.expectedSeq >= r.counter*uint64(r.BatchSize) {
+			r.advance()
+		}
+	}
+}
+
+func (r *Reassembler) advance() {
+	r.counter++
+	r.Switches++
+	if r.Core != nil && r.SwitchCost > 0 {
+		r.Core.Exec(r.SwitchCost, "mflow-merge")
+	}
+}
+
+// Flush delivers everything still buffered in sequence order, used at the
+// end of a run when the final micro-flow is partial. It returns the number
+// of skbs flushed.
+func (r *Reassembler) Flush() int {
+	n := 0
+	for r.buffered > 0 {
+		// Find the queue whose head has the lowest sequence.
+		best := -1
+		for i, q := range r.queues {
+			if len(q) == 0 {
+				continue
+			}
+			if best == -1 || q[0].Seq < r.queues[best][0].Seq {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		head := r.queues[best][0]
+		r.queues[best] = r.queues[best][1:]
+		r.buffered--
+		r.expectedSeq = head.EndSeq()
+		r.DeliveredSegments += uint64(head.Segs)
+		r.Deliver(head)
+		n++
+	}
+	return n
+}

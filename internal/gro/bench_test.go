@@ -1,0 +1,41 @@
+package gro
+
+import (
+	"testing"
+
+	"mflow/internal/skb"
+)
+
+func benchBatch(n int) []*skb.SKB {
+	batch := make([]*skb.SKB, n)
+	for i := range batch {
+		batch[i] = &skb.SKB{FlowID: 1, Proto: skb.TCP, Seq: uint64(i), Segs: 1, WireLen: 1500, PayloadLen: 1448}
+	}
+	return batch
+}
+
+func BenchmarkCoalesce64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := benchBatch(64)
+		b.StartTimer()
+		g := New()
+		_ = g.Coalesce(batch)
+	}
+}
+
+func BenchmarkCoalesceInterleaved(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := make([]*skb.SKB, 64)
+		seqs := map[uint64]uint64{}
+		for j := range batch {
+			flow := uint64(j % 4)
+			batch[j] = &skb.SKB{FlowID: flow, Proto: skb.TCP, Seq: seqs[flow], Segs: 1, WireLen: 1500, PayloadLen: 1448}
+			seqs[flow]++
+		}
+		b.StartTimer()
+		g := New()
+		_ = g.Coalesce(batch)
+	}
+}

@@ -1,0 +1,70 @@
+// Package gro implements generic receive offload: coalescing consecutive
+// same-flow TCP segments of a NAPI poll batch into larger super-packets so
+// that downstream per-packet stage costs are paid once per super-packet.
+// Mirroring the kernel behaviour the paper leans on (§II footnote 2), GRO is
+// effective for TCP but passes UDP through untouched — which is why
+// device-level pipelining (FALCON) helps UDP yet fails to relieve TCP's
+// skb-alloc+GRO core, and why MFLOW needs pre-skb IRQ splitting for TCP.
+package gro
+
+import "mflow/internal/skb"
+
+// DefaultMaxBytes caps a GRO super-packet at 64 KB, like the kernel.
+const DefaultMaxBytes = 65536
+
+// GRO coalesces poll batches. The zero value is a disabled engine; use New.
+type GRO struct {
+	// MaxBytes caps the payload a single super-packet may accumulate.
+	MaxBytes int
+	// Enabled turns coalescing on. Disabled, Coalesce is the identity.
+	Enabled bool
+
+	// SegsIn counts wire segments offered; SkbsOut counts skbs emitted.
+	// SegsIn/SkbsOut is the achieved amortization factor.
+	SegsIn  uint64
+	SkbsOut uint64
+}
+
+// New returns an enabled GRO engine with the default byte cap.
+func New() *GRO {
+	return &GRO{MaxBytes: DefaultMaxBytes, Enabled: true}
+}
+
+// Factor returns the achieved merge factor so far (1 if nothing processed).
+func (g *GRO) Factor() float64 {
+	if g.SkbsOut == 0 {
+		return 1
+	}
+	return float64(g.SegsIn) / float64(g.SkbsOut)
+}
+
+// Coalesce merges the batch, preserving first-arrival order of the emitted
+// skbs. Only in-order continuations merge (skb.CanMerge): same flow, TCP,
+// same encapsulation state, no message boundary in between, and within the
+// byte cap. Like kernel GRO, the engine holds state only within one batch —
+// everything flushes when the poll round ends.
+func (g *GRO) Coalesce(batch []*skb.SKB) []*skb.SKB {
+	for _, s := range batch {
+		g.SegsIn += uint64(s.Segs)
+	}
+	if !g.Enabled || len(batch) <= 1 {
+		g.SkbsOut += uint64(len(batch))
+		return batch
+	}
+	max := g.MaxBytes
+	if max <= 0 {
+		max = DefaultMaxBytes
+	}
+	out := batch[:0]
+	heads := make(map[uint64]*skb.SKB, 4) // per-flow in-progress super-packet
+	for _, s := range batch {
+		if h, ok := heads[s.FlowID]; ok && h.CanMerge(s) && h.PayloadLen+s.PayloadLen <= max {
+			h.Merge(s)
+			continue
+		}
+		out = append(out, s)
+		heads[s.FlowID] = s
+	}
+	g.SkbsOut += uint64(len(out))
+	return out
+}

@@ -1,0 +1,32 @@
+package metrics
+
+import "testing"
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1_000_000 + 100))
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	for i := int64(0); i < 1_000_000; i++ {
+		h.Record(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}
+
+func BenchmarkHistogramMerge(b *testing.B) {
+	a, c := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 100_000; i++ {
+		c.Record(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Merge(c)
+	}
+}

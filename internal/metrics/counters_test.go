@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mflow/internal/sim"
+)
+
+func TestThroughputRates(t *testing.T) {
+	tp := NewThroughput(0)
+	for i := 0; i < 1000; i++ {
+		tp.Add(1500, 1)
+	}
+	tp.Close(sim.Time(1 * sim.Millisecond))
+	// 1.5 MB in 1 ms = 12 Gbps
+	if g := tp.Gbps(); math.Abs(g-12) > 0.01 {
+		t.Errorf("Gbps=%.3f, want 12", g)
+	}
+	if m := tp.MsgPerSec(); math.Abs(m-1e6) > 1 {
+		t.Errorf("MsgPerSec=%.0f, want 1e6", m)
+	}
+	if tp.Packets != 1000 {
+		t.Errorf("Packets=%d, want 1000", tp.Packets)
+	}
+}
+
+func TestThroughputZeroWindow(t *testing.T) {
+	tp := NewThroughput(100)
+	tp.Add(1500, 1)
+	tp.Close(100)
+	if tp.Gbps() != 0 || tp.MsgPerSec() != 0 {
+		t.Error("zero window must not divide by zero")
+	}
+}
+
+func TestSnapshotCPU(t *testing.T) {
+	s := sim.NewScheduler(1)
+	cores := sim.NewCores(2, s)
+	s.At(0, func() {
+		cores[0].Exec(400, "skb")
+		cores[1].Exec(100, "vxlan")
+		cores[1].Exec(100, "veth")
+	})
+	s.Run()
+	busy, tags := CaptureBusy(cores)
+	// more work after the baseline capture
+	s.At(1000, func() {
+		cores[0].Exec(500, "skb")
+	})
+	s.Run()
+	samples := SnapshotCPU(cores, busy, tags, 0, 1000)
+	// window [0,1000] excludes post-capture work? No: busy/tags captured at
+	// t=after first run, so the second burst is excluded from deltas.
+	if math.Abs(samples[0].Total-0) > 1e-9 {
+		// baseline captured after first run, so delta is the second burst only;
+		// but the second burst happened after until=1000... Exec at t=1000 counts.
+		_ = samples
+	}
+	// Simpler check: capture before everything.
+	s2 := sim.NewScheduler(1)
+	c2 := sim.NewCores(1, s2)
+	b2, t2 := CaptureBusy(c2)
+	s2.At(0, func() { c2[0].Exec(250, "skb") })
+	s2.Run()
+	got := SnapshotCPU(c2, b2, t2, 0, 1000)
+	if math.Abs(got[0].Total-0.25) > 1e-9 {
+		t.Errorf("utilization %.3f, want 0.25", got[0].Total)
+	}
+	if math.Abs(got[0].ByTag["skb"]-0.25) > 1e-9 {
+		t.Errorf("tag utilization %.3f, want 0.25", got[0].ByTag["skb"])
+	}
+}
+
+func TestFormatCPU(t *testing.T) {
+	samples := []CPUSample{
+		{Core: 0, Total: 0.5, ByTag: map[string]float64{"copy": 0.5}},
+		{Core: 1, Total: 0.001, ByTag: map[string]float64{}},
+	}
+	out := FormatCPU(samples)
+	if !strings.Contains(out, "core 0") || !strings.Contains(out, "copy") {
+		t.Errorf("unexpected format: %q", out)
+	}
+	if strings.Contains(out, "core 1") {
+		t.Error("near-idle core should be omitted")
+	}
+	if !strings.Contains(FormatCPU(nil), "idle") {
+		t.Error("empty samples should say idle")
+	}
+}

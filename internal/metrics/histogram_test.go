@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("count %d, want 1000", h.Count())
+	}
+	if m := h.Mean(); math.Abs(m-500.5) > 0.01 {
+		t.Errorf("mean %.2f, want 500.5", m)
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Errorf("min/max %d/%d, want 1/1000", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(0); i < 100000; i++ {
+		h.Record(i)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := q * 100000
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("q=%v: got %.0f, want %.0f (err > 5%%)", q, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, s := range samples {
+			h.Record(int64(s))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Error("negative sample should clamp to 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Errorf("merged count %d, want 200", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 1099 {
+		t.Errorf("merged min/max %d/%d, want 0/1099", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestBucketRoundtrip(t *testing.T) {
+	// bucketLow(bucketOf(v)) <= v < bucketLow(bucketOf(v)+1)
+	for _, v := range []int64{0, 1, 31, 32, 33, 100, 1000, 1 << 20, 1<<40 + 12345} {
+		b := bucketOf(v)
+		if bucketLow(b) > v {
+			t.Errorf("bucketLow(%d)=%d > v=%d", b, bucketLow(b), v)
+		}
+		if bucketLow(b+1) <= v {
+			t.Errorf("bucketLow(%d)=%d <= v=%d", b+1, bucketLow(b+1), v)
+		}
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	m, s := MeanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-9 || math.Abs(s-2) > 1e-9 {
+		t.Errorf("got mean %.2f stddev %.2f, want 5/2", m, s)
+	}
+	if m, s := MeanStddev(nil); m != 0 || s != 0 {
+		t.Error("empty input should give zeros")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if p := Percentile(xs, 50); math.Abs(p-30) > 1e-9 {
+		t.Errorf("p50=%.1f, want 30", p)
+	}
+	if p := Percentile(xs, 100); p != 50 {
+		t.Errorf("p100=%.1f, want 50", p)
+	}
+	if p := Percentile(xs, 0); p != 10 {
+		t.Errorf("p0=%.1f, want 10", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}

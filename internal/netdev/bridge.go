@@ -1,0 +1,86 @@
+package netdev
+
+import (
+	"mflow/internal/packet"
+	"mflow/internal/skb"
+)
+
+// Bridge is a learning Ethernet bridge (the docker0-style virtual switch
+// that connects the VxLAN device to the containers' veth endpoints). It
+// learns source MACs per port and forwards by destination MAC, flooding
+// unknown destinations to every other port.
+type Bridge struct {
+	ports []func(*skb.SKB)
+	fdb   map[packet.MAC]int
+
+	// Forwarded counts unicast deliveries; Flooded counts frames sent to
+	// all ports for an unknown destination.
+	Forwarded uint64
+	Flooded   uint64
+}
+
+// NewBridge returns an empty bridge.
+func NewBridge() *Bridge {
+	return &Bridge{fdb: make(map[packet.MAC]int)}
+}
+
+// AttachPort adds a port whose egress is deliver and returns its number.
+func (b *Bridge) AttachPort(deliver func(*skb.SKB)) int {
+	b.ports = append(b.ports, deliver)
+	return len(b.ports) - 1
+}
+
+// Lookup returns the port a MAC was learned on.
+func (b *Bridge) Lookup(mac packet.MAC) (int, bool) {
+	p, ok := b.fdb[mac]
+	return p, ok
+}
+
+// Forward switches a frame arriving on inPort with the given addresses:
+// learns src→inPort, then delivers to dst's learned port or floods.
+func (b *Bridge) Forward(inPort int, src, dst packet.MAC, s *skb.SKB) {
+	b.fdb[src] = inPort
+	if p, ok := b.fdb[dst]; ok && p != inPort {
+		b.Forwarded++
+		b.ports[p](s)
+		return
+	}
+	b.Flooded++
+	for i, deliver := range b.ports {
+		if i != inPort {
+			deliver(s)
+		}
+	}
+}
+
+// Veth is a virtual Ethernet pair: frames transmitted into one end appear at
+// the other end's receive hook, which is how a container's network namespace
+// is stitched to the host bridge.
+type Veth struct {
+	// Name tags the pair in accounting.
+	Name string
+	// HostRx/ContainerRx receive frames crossing the pair in each
+	// direction.
+	HostRx      func(*skb.SKB)
+	ContainerRx func(*skb.SKB)
+
+	// ToContainer / ToHost count crossings.
+	ToContainer uint64
+	ToHost      uint64
+}
+
+// XmitToContainer carries a frame from the host end into the container.
+func (v *Veth) XmitToContainer(s *skb.SKB) {
+	v.ToContainer++
+	if v.ContainerRx != nil {
+		v.ContainerRx(s)
+	}
+}
+
+// XmitToHost carries a frame from the container end out to the host.
+func (v *Veth) XmitToHost(s *skb.SKB) {
+	v.ToHost++
+	if v.HostRx != nil {
+		v.HostRx(s)
+	}
+}

@@ -1,0 +1,166 @@
+package netdev
+
+import (
+	"testing"
+
+	"mflow/internal/packet"
+	"mflow/internal/skb"
+)
+
+func TestCostOf(t *testing.T) {
+	c := Cost{PerSKB: 100, PerSeg: 10, PerByte: 0.1}
+	s := &skb.SKB{Segs: 4, WireLen: 6000}
+	// 100 + 4*10 + 0.1*6000 = 740
+	if got := c.Of(s); got != 740 {
+		t.Errorf("cost %v, want 740", got)
+	}
+}
+
+func TestCostOfZeroAndNegativeClamp(t *testing.T) {
+	var c Cost
+	if c.Of(&skb.SKB{Segs: 1, WireLen: 100}) != 0 {
+		t.Error("zero cost model should cost 0")
+	}
+}
+
+func TestDeviceApply(t *testing.T) {
+	called := false
+	d := &Device{Name: "x", Action: func(*skb.SKB) { called = true }}
+	d.Apply(&skb.SKB{})
+	if !called {
+		t.Error("action not invoked")
+	}
+	(&Device{Name: "y"}).Apply(&skb.SKB{}) // nil action must not panic
+}
+
+func TestVXLANDecapSynthetic(t *testing.T) {
+	v := &VXLAN{VNI: 7}
+	s := &skb.SKB{Segs: 2, WireLen: 3000 + 2*packet.OverlayOverhead, Encap: true}
+	if err := v.Decap(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Encap {
+		t.Error("skb still encapsulated")
+	}
+	if s.WireLen != 3000 {
+		t.Errorf("wire len %d, want 3000", s.WireLen)
+	}
+	if v.Decapped != 1 {
+		t.Errorf("Decapped=%d", v.Decapped)
+	}
+	if err := v.Decap(s); err == nil {
+		t.Error("double decap must fail")
+	}
+}
+
+func TestVXLANEncapDecapWire(t *testing.T) {
+	src := packet.FlowAddr{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, IP: packet.Addr4(172, 17, 0, 2), Port: 1000}
+	dst := packet.FlowAddr{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, IP: packet.Addr4(172, 17, 0, 3), Port: 2000}
+	inner := packet.BuildUDPFrame(src, dst, 1, []byte("payload"))
+
+	v := &VXLAN{
+		VNI:   42,
+		Local: packet.Addr4(10, 0, 0, 1), Remote: packet.Addr4(10, 0, 0, 2),
+		LocalMAC: packet.MAC{2, 0, 0, 0, 1, 1}, RemoteMAC: packet.MAC{2, 0, 0, 0, 1, 2},
+	}
+	s := &skb.SKB{Segs: 1, WireLen: len(inner), Data: append([]byte(nil), inner...)}
+	v.Encap(s)
+	if !s.Encap || s.WireLen != len(inner)+packet.OverlayOverhead {
+		t.Fatalf("encap accounting wrong: %+v", s)
+	}
+	if len(s.Data) != len(inner)+packet.OverlayOverhead {
+		t.Fatalf("encap bytes wrong: %d", len(s.Data))
+	}
+	if err := v.Decap(s); err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Data) != string(inner) {
+		t.Error("decap did not recover inner frame")
+	}
+	if s.WireLen != len(inner) {
+		t.Errorf("wire len %d after decap, want %d", s.WireLen, len(inner))
+	}
+}
+
+func TestVXLANDecapWrongVNI(t *testing.T) {
+	inner := packet.BuildUDPFrame(
+		packet.FlowAddr{IP: packet.Addr4(1, 1, 1, 1), Port: 1},
+		packet.FlowAddr{IP: packet.Addr4(2, 2, 2, 2), Port: 2}, 0, []byte("x"))
+	frame := packet.EncapVXLAN(packet.MAC{}, packet.MAC{}, packet.Addr4(10, 0, 0, 1), packet.Addr4(10, 0, 0, 2), 99, 0, inner)
+	v := &VXLAN{VNI: 7}
+	s := &skb.SKB{Segs: 1, WireLen: len(frame), Encap: true, Data: frame}
+	if err := v.Decap(s); err == nil {
+		t.Fatal("wrong VNI must be rejected")
+	}
+	if v.Errors != 1 {
+		t.Errorf("Errors=%d, want 1", v.Errors)
+	}
+	if !s.Encap {
+		t.Error("failed decap must leave skb encapsulated")
+	}
+}
+
+func TestVXLANRxDevice(t *testing.T) {
+	v := &VXLAN{VNI: 1}
+	d := v.RxDevice(Cost{PerSKB: 50})
+	s := &skb.SKB{Segs: 1, WireLen: 1500 + packet.OverlayOverhead, Encap: true}
+	if d.CostOf(s) != 50 {
+		t.Error("cost not applied")
+	}
+	d.Apply(s)
+	if s.Encap {
+		t.Error("RxDevice action must decap")
+	}
+	if d.Name != "vxlan" {
+		t.Error("device name")
+	}
+}
+
+func TestBridgeLearnsAndForwards(t *testing.T) {
+	b := NewBridge()
+	var got0, got1, got2 []*skb.SKB
+	p0 := b.AttachPort(func(s *skb.SKB) { got0 = append(got0, s) })
+	p1 := b.AttachPort(func(s *skb.SKB) { got1 = append(got1, s) })
+	b.AttachPort(func(s *skb.SKB) { got2 = append(got2, s) })
+
+	macA := packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB := packet.MAC{2, 0, 0, 0, 0, 0xb}
+
+	// Unknown destination floods to all other ports.
+	s1 := &skb.SKB{Seq: 1}
+	b.Forward(p0, macA, macB, s1)
+	if b.Flooded != 1 || len(got1) != 1 || len(got2) != 1 || len(got0) != 0 {
+		t.Fatalf("flood wrong: flooded=%d ports=%d/%d/%d", b.Flooded, len(got0), len(got1), len(got2))
+	}
+	// macA is now learned on p0: replies unicast back.
+	s2 := &skb.SKB{Seq: 2}
+	b.Forward(p1, macB, macA, s2)
+	if b.Forwarded != 1 || len(got0) != 1 {
+		t.Fatalf("unicast wrong: forwarded=%d got0=%d", b.Forwarded, len(got0))
+	}
+	if p, ok := b.Lookup(macB); !ok || p != p1 {
+		t.Error("macB not learned on p1")
+	}
+	// Destination learned on the ingress port: flood (split horizon).
+	b.Forward(p0, macA, macA, &skb.SKB{})
+	if b.Flooded != 2 {
+		t.Error("same-port destination should flood, not loop back")
+	}
+}
+
+func TestVethCrossings(t *testing.T) {
+	var hostGot, contGot int
+	v := &Veth{Name: "veth0"}
+	v.HostRx = func(*skb.SKB) { hostGot++ }
+	v.ContainerRx = func(*skb.SKB) { contGot++ }
+	v.XmitToContainer(&skb.SKB{})
+	v.XmitToContainer(&skb.SKB{})
+	v.XmitToHost(&skb.SKB{})
+	if contGot != 2 || hostGot != 1 {
+		t.Errorf("crossings %d/%d, want 2/1", contGot, hostGot)
+	}
+	if v.ToContainer != 2 || v.ToHost != 1 {
+		t.Errorf("counters %d/%d", v.ToContainer, v.ToHost)
+	}
+	(&Veth{}).XmitToHost(&skb.SKB{}) // nil hooks must not panic
+}

@@ -1,0 +1,85 @@
+package netdev
+
+import (
+	"fmt"
+
+	"mflow/internal/packet"
+	"mflow/internal/skb"
+)
+
+// VXLAN is the overlay tunnel device. On the receive path it terminates the
+// outer UDP tunnel and recovers the inner Ethernet frame addressed to a
+// container; on the transmit path it wraps inner frames in outer headers.
+// In synthetic runs the transformation adjusts the skb's byte accounting; in
+// wire mode it operates on the real RFC 7348 layout.
+type VXLAN struct {
+	// VNI is the VxLAN network identifier this device terminates.
+	VNI uint32
+	// Local/Remote are the outer (host) addresses of the tunnel.
+	Local, Remote       packet.IPv4Addr
+	LocalMAC, RemoteMAC packet.MAC
+
+	// Decapped / Encapped count processed frames; Errors counts frames
+	// whose wire bytes failed to parse or carried the wrong VNI.
+	Decapped uint64
+	Encapped uint64
+	Errors   uint64
+
+	ipID uint16
+}
+
+// Decap strips the outer encapsulation from s in place. It returns an error
+// (leaving the skb encapsulated) if wire bytes are present and invalid.
+func (v *VXLAN) Decap(s *skb.SKB) error {
+	if !s.Encap {
+		return fmt.Errorf("vxlan: decap of non-encapsulated %v", s)
+	}
+	if s.Data != nil {
+		// A GRO super-packet carries several back-to-back outer frames;
+		// decapsulate every one.
+		vni, inner, err := packet.DecapVXLANAll(s.Data)
+		if err != nil {
+			v.Errors++
+			return err
+		}
+		if vni != v.VNI {
+			v.Errors++
+			return fmt.Errorf("vxlan: VNI %d arrived at device for VNI %d", vni, v.VNI)
+		}
+		s.Data = inner
+	}
+	s.Encap = false
+	s.WireLen -= packet.OverlayOverhead * s.Segs
+	if s.WireLen < 0 {
+		s.WireLen = 0
+	}
+	v.Decapped++
+	return nil
+}
+
+// Encap wraps s in outer headers in place (transmit path).
+func (v *VXLAN) Encap(s *skb.SKB) {
+	if s.Encap {
+		return
+	}
+	if s.Data != nil {
+		v.ipID++
+		s.Data = packet.EncapVXLAN(v.LocalMAC, v.RemoteMAC, v.Local, v.Remote, v.VNI, v.ipID, s.Data)
+	}
+	s.Encap = true
+	s.WireLen += packet.OverlayOverhead * s.Segs
+	v.Encapped++
+}
+
+// RxDevice packages the decap action with its cost model as a Device.
+func (v *VXLAN) RxDevice(cost Cost) *Device {
+	return &Device{
+		Name: "vxlan",
+		Cost: cost,
+		Action: func(s *skb.SKB) {
+			// Errors are counted on the device; in the simulated data
+			// path all frames are well-formed by construction.
+			_ = v.Decap(s)
+		},
+	}
+}

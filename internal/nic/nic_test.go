@@ -1,0 +1,170 @@
+package nic
+
+import (
+	"testing"
+
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+func testNIC(t *testing.T, cfg Config, cores int) (*NIC, *sim.Scheduler, []*sim.Core, *[]uint64) {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	cs := sim.NewCores(cores, s)
+	n := New(cfg, s)
+	var got []uint64
+	for q := 0; q < cfg.Queues; q++ {
+		core := cs[q%cores]
+		w := sim.NewWorker("drv", core, s,
+			func(*skb.SKB) sim.Duration { return 100 },
+			func(sk *skb.SKB, _ sim.Time) { got = append(got, sk.Seq) })
+		n.AttachDriver(q, w)
+	}
+	return n, s, cs, &got
+}
+
+func TestNICDeliversThroughDriver(t *testing.T) {
+	n, s, _, got := testNIC(t, Config{Queues: 1, RingSize: 64, IRQCost: 10, IRQDelay: 5}, 1)
+	s.At(0, func() {
+		for i := uint64(0); i < 10; i++ {
+			n.Deliver(&skb.SKB{FlowID: 1, Seq: i, Segs: 1})
+		}
+	})
+	s.Run()
+	if len(*got) != 10 {
+		t.Fatalf("delivered %d, want 10", len(*got))
+	}
+	for i, seq := range *got {
+		if seq != uint64(i) {
+			t.Fatalf("out of order at %d: %v", i, *got)
+		}
+	}
+	if n.Received != 10 || n.Dropped != 0 {
+		t.Errorf("Received=%d Dropped=%d", n.Received, n.Dropped)
+	}
+}
+
+func TestNICRingOverrunDrops(t *testing.T) {
+	n, s, _, _ := testNIC(t, Config{Queues: 1, RingSize: 16, IRQCost: 0, IRQDelay: 1000}, 1)
+	s.At(0, func() {
+		for i := uint64(0); i < 100; i++ {
+			n.Deliver(&skb.SKB{FlowID: 1, Seq: i, Segs: 1})
+		}
+	})
+	s.Run()
+	if n.Dropped != 84 {
+		t.Errorf("Dropped=%d, want 84 (ring holds 16)", n.Dropped)
+	}
+}
+
+func TestNICIRQOnlyWhenIdle(t *testing.T) {
+	n, s, _, _ := testNIC(t, Config{Queues: 1, RingSize: 64, IRQCost: 10, IRQDelay: 50}, 1)
+	s.At(0, func() {
+		for i := uint64(0); i < 10; i++ {
+			n.Deliver(&skb.SKB{FlowID: 1, Seq: i, Segs: 1})
+		}
+	})
+	s.Run()
+	if n.IRQs != 1 {
+		t.Errorf("IRQs=%d, want 1 (NAPI suppresses interrupts while polling)", n.IRQs)
+	}
+	// Deliver again after everything drained: a new IRQ must fire.
+	s.At(10000, func() { n.Deliver(&skb.SKB{FlowID: 1, Seq: 100, Segs: 1}) })
+	s.Run()
+	if n.IRQs != 2 {
+		t.Errorf("IRQs=%d after idle redelivery, want 2", n.IRQs)
+	}
+}
+
+func TestNICSingleFlowSingleQueue(t *testing.T) {
+	cfg := DefaultConfig()
+	n, s, _, _ := testNIC(t, cfg, 4)
+	q := n.QueueFor(42)
+	for i := 0; i < 100; i++ {
+		if n.QueueFor(42) != q {
+			t.Fatal("flow's queue must be stable")
+		}
+	}
+	_ = s
+}
+
+func TestNICRSSSpreadsFlows(t *testing.T) {
+	cfg := DefaultConfig()
+	s := sim.NewScheduler(1)
+	n := New(cfg, s)
+	seen := map[int]int{}
+	for f := uint64(0); f < 1000; f++ {
+		seen[n.QueueFor(f)]++
+	}
+	if len(seen) != cfg.Queues {
+		t.Fatalf("RSS used %d queues, want %d", len(seen), cfg.Queues)
+	}
+	for q, cnt := range seen {
+		if cnt < 60 || cnt > 200 {
+			t.Errorf("queue %d got %d of 1000 flows — poor spread", q, cnt)
+		}
+	}
+}
+
+func TestNICDeliverWithoutDriverDrops(t *testing.T) {
+	s := sim.NewScheduler(1)
+	n := New(Config{Queues: 1, RingSize: 8}, s)
+	if n.Deliver(&skb.SKB{FlowID: 1}) {
+		t.Error("delivery without driver should fail")
+	}
+	if n.Dropped != 1 {
+		t.Errorf("Dropped=%d, want 1", n.Dropped)
+	}
+}
+
+func TestNICStampsArrival(t *testing.T) {
+	n, s, _, _ := testNIC(t, Config{Queues: 1, RingSize: 8, IRQDelay: 1}, 1)
+	sk := &skb.SKB{FlowID: 1, Segs: 1}
+	s.At(777, func() { n.Deliver(sk) })
+	s.Run()
+	if sk.ArrivedAt != 777 {
+		t.Errorf("ArrivedAt=%v, want 777", sk.ArrivedAt)
+	}
+}
+
+func TestCompletionBatcher(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := sim.NewCore(1, s)
+	cb := &CompletionBatcher{Every: 4, UpdateCost: 50}
+	s.At(0, func() {
+		for i := 0; i < 10; i++ {
+			cb.Completed(c)
+		}
+	})
+	s.Run()
+	if cb.Updates != 2 {
+		t.Errorf("Updates=%d, want 2 (10 completions / every 4)", cb.Updates)
+	}
+	if c.BusyTotal() != 100 {
+		t.Errorf("busy=%v, want 100", c.BusyTotal())
+	}
+}
+
+func TestCompletionBatcherDefaultEvery(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := sim.NewCore(1, s)
+	cb := &CompletionBatcher{UpdateCost: 1}
+	s.At(0, func() {
+		for i := 0; i < 128; i++ {
+			cb.Completed(c)
+		}
+	})
+	s.Run()
+	if cb.Updates != 1 {
+		t.Errorf("Updates=%d, want 1 at default batching of 128", cb.Updates)
+	}
+}
+
+func TestHash64Mixes(t *testing.T) {
+	if Hash64(1) == Hash64(2) {
+		t.Error("hash collision on trivial inputs")
+	}
+	if Hash64(7) != Hash64(7) {
+		t.Error("hash must be deterministic")
+	}
+}

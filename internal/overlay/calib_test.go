@@ -1,0 +1,27 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+)
+
+// TestCalibrationTable prints the headline single-flow numbers for eyeball
+// calibration (go test -run Calibration -v).
+func TestCalibrationTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration table in -short mode")
+	}
+	for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+		for _, sys := range steering.Systems {
+			r := Run(Scenario{System: sys, Proto: proto, MsgSize: 65536})
+			fmt.Printf("%-4s %-12s %7.2f Gbps  p50=%-10v p99=%-10v gro=%.1f ooo=%-6d ofo=%-5d drops(ring/sock/bl)=%d/%d/%d kstd=%.1f\n",
+				proto, sys, r.Gbps,
+				r.Latency.Median(), r.Latency.P99(), r.GROFactor,
+				r.OOOSegments, r.TCPOFOSegments,
+				r.DropsRing, r.DropsSock, r.DropsBacklog, r.KernelCPUStddev)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package overlay assembles complete experiment topologies: simulated hosts
+// with application and kernel cores, a physical NIC, per-flow receive
+// pipelines (native or VxLAN overlay) placed on cores according to the
+// system under test (vanilla/RPS/FALCON/MFLOW), sockperf-like senders on
+// client cores, and the measurement harness that runs warmup + measure
+// windows and reports throughput, latency, CPU utilization and ordering
+// statistics.
+package overlay
+
+import (
+	"mflow/internal/netdev"
+	"mflow/internal/nic"
+	"mflow/internal/sim"
+	"mflow/internal/traffic"
+)
+
+// CostModel holds every cycle-cost constant of the simulation. The defaults
+// are calibrated once against the paper's headline absolute numbers (native
+// TCP 26.6 Gbps on one softirq core; vanilla overlay ≈16.5 Gbps; MFLOW
+// 29.8 Gbps with the user-space copy thread as the new bottleneck) and then
+// left alone — every experiment derives from the same table.
+//
+// Stage costs distinguish PerSeg (paid per wire segment, immune to GRO),
+// PerSKB (paid per skb, amortized by GRO merging) and PerByte
+// (data-touching work, never amortized). See netdev.Cost.
+type CostModel struct {
+	// NIC hardware parameters.
+	NIC nic.Config
+
+	// PollOverhead is charged once per softirq poll round; BacklogWake is
+	// the enqueue-to-poll latency of a backlog queue on another core.
+	PollOverhead sim.Duration
+	BacklogWake  sim.Duration
+
+	// Alloc is driver poll + skb allocation, per wire segment — the
+	// stage the paper shows cannot be parallelized by FALCON.
+	Alloc netdev.Cost
+	// GRONative / GROOverlay are GRO's per-segment inspection costs;
+	// tunnel-aware GRO must parse outer UDP + VxLAN + inner headers and
+	// is substantially more expensive. GROLookupUDP is the failed-match
+	// lookup UDP pays (GRO cannot merge UDP, per the paper).
+	GRONative    netdev.Cost
+	GROOverlay   netdev.Cost
+	GROLookupUDP netdev.Cost
+	// OuterIPUDP is the outer IP+UDP receive processing of the tunnel.
+	OuterIPUDP netdev.Cost
+	// VXLAN is tunnel decapsulation; its PerByte term (checksum and
+	// header rewriting touch data) is what keeps it heavy under GRO.
+	VXLAN netdev.Cost
+	// Bridge / Veth / InnerIP are the remaining overlay devices.
+	Bridge  netdev.Cost
+	Veth    netdev.Cost
+	InnerIP netdev.Cost
+	// TCPRx / UDPRx are transport-layer receive processing; SockEnq is
+	// socket receive-queue insertion.
+	TCPRx   netdev.Cost
+	UDPRx   netdev.Cost
+	SockEnq netdev.Cost
+	// Copy is the user-space delivery copy, paid by the single
+	// application receive thread (core 0).
+	Copy netdev.Cost
+	// OOOQueue is the kernel's per-packet out-of-order queue cost at the
+	// TCP layer (what MFLOW's batch reassembly avoids).
+	OOOQueue sim.Duration
+
+	// RPSSteer is RPS's per-skb hash-and-enqueue; HandoffPerSKB is
+	// FALCON's per-skb pipeline transfer between device cores;
+	// HandoffPreGROExtra is the additional per-unit cost when the
+	// transfer happens before GRO (per wire segment, FALCON-func's
+	// first edge).
+	RPSSteer           sim.Duration
+	HandoffPerSKB      sim.Duration
+	HandoffPreGROExtra sim.Duration
+
+	// SplitDispatch is MFLOW's flow-splitting enqueue per skb;
+	// IRQDispatch is the IRQ-splitting first-half cost per raw request;
+	// IPI is the inter-processor interrupt to wake a splitting core.
+	SplitDispatch sim.Duration
+	IRQDispatch   sim.Duration
+	IPI           sim.Duration
+	// MergeSwitch / MergePerSKB are the batch reassembler's costs: one
+	// switch per micro-flow rotation, a small move per skb.
+	MergeSwitch sim.Duration
+	MergePerSKB sim.Duration
+	// CompletionUpdate / CompletionEvery batch the split driver's
+	// descriptor-release updates (paper: every 128 requests).
+	CompletionUpdate sim.Duration
+	CompletionEvery  int
+
+	// Client-side costs (the sending machine's CPU) and one-way wire
+	// latency.
+	TCPClient traffic.ClientCost
+	UDPClient traffic.ClientCost
+	NetDelay  sim.Duration
+
+	// Kernel-core execution noise: jitter plus occasional interference
+	// spikes (unrelated kernel work), the cause of out-of-order
+	// completion across splitting cores.
+	JitterAmp        float64
+	InterferenceProb float64
+	InterferenceMean sim.Duration
+}
+
+// DefaultCosts returns the calibrated cost table.
+func DefaultCosts() *CostModel {
+	return &CostModel{
+		NIC:          nic.DefaultConfig(),
+		PollOverhead: 250,
+		BacklogWake:  600,
+
+		Alloc:        netdev.Cost{PerSeg: 300},
+		GRONative:    netdev.Cost{PerSeg: 60},
+		GROOverlay:   netdev.Cost{PerSeg: 320},
+		GROLookupUDP: netdev.Cost{PerSeg: 60},
+		OuterIPUDP:   netdev.Cost{PerSKB: 180},
+		VXLAN:        netdev.Cost{PerSKB: 1800, PerByte: 0.05},
+		Bridge:       netdev.Cost{PerSKB: 350},
+		Veth:         netdev.Cost{PerSKB: 350},
+		InnerIP:      netdev.Cost{PerSKB: 150},
+		TCPRx:        netdev.Cost{PerSKB: 450, PerByte: 0.05},
+		UDPRx:        netdev.Cost{PerSKB: 500, PerByte: 0.06},
+		SockEnq:      netdev.Cost{PerSKB: 120},
+		Copy:         netdev.Cost{PerByte: 0.20},
+		OOOQueue:     250,
+
+		RPSSteer:           60,
+		HandoffPerSKB:      120,
+		HandoffPreGROExtra: 80,
+
+		SplitDispatch:    100,
+		IRQDispatch:      100,
+		IPI:              400,
+		MergeSwitch:      150,
+		MergePerSKB:      20,
+		CompletionUpdate: 300,
+		CompletionEvery:  128,
+
+		TCPClient: traffic.ClientCost{PerMsg: 3500, PerSeg: 60, PerByte: 0.005},
+		UDPClient: traffic.ClientCost{PerMsg: 2000, PerSeg: 3500, PerByte: 0.02},
+		NetDelay:  5 * sim.Microsecond,
+
+		JitterAmp:        0.06,
+		InterferenceProb: 0.0008,
+		InterferenceMean: 12 * sim.Microsecond,
+	}
+}

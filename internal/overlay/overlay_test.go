@@ -1,0 +1,372 @@
+package overlay
+
+import (
+	"testing"
+
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+)
+
+// quick returns a scenario with short windows for unit testing.
+func quick(sys steering.System, proto skb.Proto) Scenario {
+	return Scenario{
+		System: sys, Proto: proto, MsgSize: 65536,
+		Warmup: 2 * sim.Millisecond, Measure: 6 * sim.Millisecond,
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	sc := Scenario{Proto: skb.TCP}.withDefaults()
+	if sc.MsgSize != 65536 || sc.Flows != 1 || sc.UDPClients != 1 ||
+		sc.Window != 2048 || sc.KernelCores != 6 || sc.AppCores != 1 {
+		t.Errorf("defaults wrong: %+v", sc)
+	}
+	if sc.Costs == nil || sc.Seed == 0 {
+		t.Error("costs/seed not defaulted")
+	}
+	udp := Scenario{Proto: skb.UDP}.withDefaults()
+	if udp.UDPClients != 3 {
+		t.Errorf("UDP should default to the paper's 3 clients, got %d", udp.UDPClients)
+	}
+}
+
+func TestMFlowConfigDefaults(t *testing.T) {
+	tcp := MFlowConfig{}.withDefaults(skb.TCP)
+	if tcp.BatchSize != 256 || tcp.SplitCores != 2 {
+		t.Errorf("batch/cores defaults wrong: %+v", tcp)
+	}
+	if !tcp.FullPath || !tcp.PipelinePairs || tcp.LateMerge {
+		t.Errorf("TCP should default to full-path scaling: %+v", tcp)
+	}
+	udp := MFlowConfig{}.withDefaults(skb.UDP)
+	if udp.FullPath || !udp.LateMerge {
+		t.Errorf("UDP should default to device scaling with late merge: %+v", udp)
+	}
+	fso := MFlowConfig{FlowSplitOnly: true}.withDefaults(skb.TCP)
+	if fso.FullPath || fso.PipelinePairs {
+		t.Errorf("FlowSplitOnly must disable IRQ splitting: %+v", fso)
+	}
+}
+
+func TestScenarioName(t *testing.T) {
+	sc := quick(steering.Vanilla, skb.TCP).withDefaults()
+	if got := sc.Name(); got != "vanilla/TCP/64KB/flows=1" {
+		t.Errorf("Name() = %q", got)
+	}
+	sc.MsgSize = 16
+	if got := sc.Name(); got != "vanilla/TCP/16B/flows=1" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a := Run(quick(steering.MFlow, skb.TCP))
+	b := Run(quick(steering.MFlow, skb.TCP))
+	if a.Gbps != b.Gbps || a.OOOSKBs != b.OOOSKBs || a.Latency.Median() != b.Latency.Median() {
+		t.Errorf("same scenario diverged: %v vs %v", a, b)
+	}
+	// Seed sensitivity shows on a kernel-core-bound (jittered) system.
+	v1 := Run(quick(steering.Vanilla, skb.TCP))
+	c := quick(steering.Vanilla, skb.TCP)
+	c.Seed = 7
+	v2 := Run(c)
+	if v1.Gbps == v2.Gbps && v1.Latency.Mean() == v2.Latency.Mean() {
+		t.Error("different seeds should perturb results")
+	}
+}
+
+func TestTCPPathsAreLossless(t *testing.T) {
+	for _, sys := range steering.Systems {
+		r := Run(quick(sys, skb.TCP))
+		if r.DropsRing != 0 || r.DropsSock != 0 || r.DropsBacklog != 0 {
+			t.Errorf("%v: TCP path dropped packets (%d/%d/%d) — window must bound queues",
+				sys, r.DropsRing, r.DropsSock, r.DropsBacklog)
+		}
+		if r.Gbps <= 0 {
+			t.Errorf("%v: no TCP throughput", sys)
+		}
+	}
+}
+
+func TestTCPDeliveryStaysInOrder(t *testing.T) {
+	// After MFLOW's reassembly, the TCP layer must see zero out-of-order
+	// arrivals: the merge point absorbs all reordering.
+	r := Run(quick(steering.MFlow, skb.TCP))
+	if r.TCPOFOSegments != 0 {
+		t.Errorf("TCP saw %d out-of-order skbs after reassembly", r.TCPOFOSegments)
+	}
+	if r.OOOSKBs == 0 {
+		t.Error("merge point should have observed some reordering to absorb")
+	}
+}
+
+func TestUDPReassemblyRestoresOrder(t *testing.T) {
+	r := Run(quick(steering.MFlow, skb.UDP))
+	if r.OOOSKBs == 0 {
+		t.Error("splitting should produce merge-point reordering")
+	}
+	// Late merge restores order; only loss-induced stale deliveries may
+	// leak through, and there should be almost none relative to traffic.
+	if r.DeliveredOutOfOrder > r.DeliveredSegments/100 {
+		t.Errorf("app saw %d/%d datagrams out of order after reassembly",
+			r.DeliveredOutOfOrder, r.DeliveredSegments)
+	}
+
+	no := quick(steering.MFlow, skb.UDP)
+	no.MFlow.NoReassembly = true
+	rn := Run(no)
+	if rn.DeliveredOutOfOrder == 0 {
+		t.Error("without reassembly the app must see reordering")
+	}
+}
+
+func TestPaperShapeTCP(t *testing.T) {
+	res := map[steering.System]*Result{}
+	for _, sys := range steering.Systems {
+		res[sys] = Run(quick(sys, skb.TCP))
+	}
+	g := func(s steering.System) float64 { return res[s].Gbps }
+
+	// Ordering from the paper's Fig. 4a/8a at 64 KB.
+	if !(g(steering.Vanilla) < g(steering.RPS)) {
+		t.Errorf("vanilla (%.1f) should trail RPS (%.1f)", g(steering.Vanilla), g(steering.RPS))
+	}
+	if rel := g(steering.FalconDev) / g(steering.RPS); rel < 0.85 || rel > 1.15 {
+		t.Errorf("FALCON-dev (%.1f) should roughly match RPS (%.1f) for TCP", g(steering.FalconDev), g(steering.RPS))
+	}
+	if !(g(steering.FalconFunc) > g(steering.RPS)) {
+		t.Errorf("FALCON-func (%.1f) should beat RPS (%.1f)", g(steering.FalconFunc), g(steering.RPS))
+	}
+	if !(g(steering.MFlow) > g(steering.FalconFunc)) {
+		t.Errorf("MFLOW (%.1f) should beat FALCON-func (%.1f)", g(steering.MFlow), g(steering.FalconFunc))
+	}
+	// The headline: MFLOW exceeds even the native network for TCP.
+	if !(g(steering.MFlow) > g(steering.Native)) {
+		t.Errorf("MFLOW (%.1f) should beat native (%.1f) for TCP", g(steering.MFlow), g(steering.Native))
+	}
+	// Vanilla overlay loses ~40% vs native (accept 30-60%).
+	drop := 1 - g(steering.Vanilla)/g(steering.Native)
+	if drop < 0.30 || drop > 0.60 {
+		t.Errorf("vanilla TCP drop vs native = %.0f%%, want 30-60%%", drop*100)
+	}
+	// MFLOW gains at least 60% over vanilla (paper: +81%).
+	if gain := g(steering.MFlow)/g(steering.Vanilla) - 1; gain < 0.60 {
+		t.Errorf("MFLOW TCP gain over vanilla = %.0f%%, want >= 60%%", gain*100)
+	}
+	// Latency: MFLOW well below vanilla at max load (paper Fig. 9).
+	if m, v := res[steering.MFlow].Latency.Median(), res[steering.Vanilla].Latency.Median(); !(float64(m) < 0.8*float64(v)) {
+		t.Errorf("MFLOW median latency %v should be well under vanilla %v", m, v)
+	}
+}
+
+func TestPaperShapeUDP(t *testing.T) {
+	res := map[steering.System]*Result{}
+	for _, sys := range steering.Systems {
+		res[sys] = Run(quick(sys, skb.UDP))
+	}
+	g := func(s steering.System) float64 { return res[s].Gbps }
+
+	// Vanilla overlay loses heavily vs native (paper ~80%; accept >= 55%).
+	if drop := 1 - g(steering.Vanilla)/g(steering.Native); drop < 0.55 {
+		t.Errorf("vanilla UDP drop vs native = %.0f%%, want >= 55%%", drop*100)
+	}
+	// RPS helps only slightly (paper +6%; accept 0-35%).
+	if gain := g(steering.RPS)/g(steering.Vanilla) - 1; gain < 0 || gain > 0.35 {
+		t.Errorf("RPS UDP gain = %.0f%%, want small positive", gain*100)
+	}
+	// FALCON's device pipelining helps a lot (paper +80%; accept >= 50%).
+	if gain := g(steering.FalconDev)/g(steering.Vanilla) - 1; gain < 0.50 {
+		t.Errorf("FALCON UDP gain = %.0f%%, want >= 50%%", gain*100)
+	}
+	// MFLOW beats FALCON (paper +21%; accept >= 10%).
+	if gain := g(steering.MFlow)/g(steering.FalconDev) - 1; gain < 0.10 {
+		t.Errorf("MFLOW over FALCON = %.0f%%, want >= 10%%", gain*100)
+	}
+	// But stays below native for UDP (clients/receiver limited).
+	if !(g(steering.MFlow) < g(steering.Native)) {
+		t.Errorf("MFLOW UDP (%.1f) should stay below native (%.1f)", g(steering.MFlow), g(steering.Native))
+	}
+}
+
+func TestBatchSizeReducesOOO(t *testing.T) {
+	// Fig. 7's mechanism: larger micro-flow batches mean far fewer
+	// out-of-order deliveries at the merge point.
+	ooo := map[int]uint64{}
+	for _, b := range []int{1, 16, 256} {
+		sc := quick(steering.MFlow, skb.TCP)
+		sc.MFlow.BatchSize = b
+		r := Run(sc)
+		ooo[b] = r.OOOSKBs
+	}
+	if !(ooo[1] > ooo[16] && ooo[16] > ooo[256]) {
+		t.Errorf("OOO deliveries should fall with batch size: %v", ooo)
+	}
+	if ooo[256] > ooo[1]/5 {
+		t.Errorf("batch 256 (%d) should cut OOO deliveries by >80%% vs batch 1 (%d)", ooo[256], ooo[1])
+	}
+}
+
+func TestSmallMessagesClientBound(t *testing.T) {
+	// Paper: at 16 B the client is the bottleneck and every system
+	// performs about the same.
+	var rates []float64
+	for _, sys := range []steering.System{steering.Native, steering.Vanilla, steering.MFlow} {
+		sc := quick(sys, skb.TCP)
+		sc.MsgSize = 16
+		rates = append(rates, Run(sc).MsgPerSec)
+	}
+	for i := 1; i < len(rates); i++ {
+		ratio := rates[i] / rates[0]
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("16B rates should be comparable across systems: %v", rates)
+		}
+	}
+}
+
+func TestSplitCoresDiminishingReturns(t *testing.T) {
+	prev := 0.0
+	gains := []float64{}
+	for _, n := range []int{1, 2, 3} {
+		sc := quick(steering.MFlow, skb.UDP)
+		sc.MFlow.SplitCores = n
+		g := Run(sc).Gbps
+		if prev > 0 {
+			gains = append(gains, g/prev-1)
+		}
+		prev = g
+	}
+	if gains[0] < 0.15 {
+		t.Errorf("second splitting core should help substantially, gain=%.0f%%", gains[0]*100)
+	}
+	if gains[1] > gains[0] {
+		t.Errorf("returns should diminish: %v", gains)
+	}
+}
+
+func TestMFlowCPUMoreBalanced(t *testing.T) {
+	// Fig. 12: MFLOW spreads kernel-core load more evenly than FALCON.
+	mk := func(sys steering.System) *Result {
+		return Run(Scenario{
+			System: sys, Proto: skb.TCP, MsgSize: 65536,
+			Flows: 10, KernelCores: 10, AppCores: 5,
+			Warmup: 2 * sim.Millisecond, Measure: 6 * sim.Millisecond,
+		})
+	}
+	f := mk(steering.FalconDev)
+	m := mk(steering.MFlow)
+	if !(m.KernelCPUStddev < f.KernelCPUStddev) {
+		t.Errorf("MFLOW stddev %.1f should be below FALCON's %.1f",
+			m.KernelCPUStddev, f.KernelCPUStddev)
+	}
+}
+
+func TestPerPacketReorderCostsThroughput(t *testing.T) {
+	batch := Run(quick(steering.MFlow, skb.TCP))
+	sc := quick(steering.MFlow, skb.TCP)
+	sc.MFlow.PerPacketReorder = true
+	perPkt := Run(sc)
+	if perPkt.Gbps > batch.Gbps*1.02 {
+		t.Errorf("per-packet reordering (%.1f) should not beat batch reassembly (%.1f)",
+			perPkt.Gbps, batch.Gbps)
+	}
+	if perPkt.TCPOFOSegments == 0 {
+		t.Error("ablation should exercise the kernel ofo queue")
+	}
+}
+
+func TestCPUUtilizationAccounting(t *testing.T) {
+	r := Run(quick(steering.Vanilla, skb.TCP))
+	// Vanilla squeezes everything onto one kernel core: it should be hot
+	// and the remaining kernel cores idle.
+	hot := 0
+	for _, s := range r.CPU[1:] { // skip app core
+		if s.Total > 0.5 {
+			hot++
+		}
+	}
+	if hot != 1 {
+		t.Errorf("vanilla should saturate exactly one kernel core, got %d hot", hot)
+	}
+	if r.KernelCPUTotal <= 0 {
+		t.Error("kernel CPU total missing")
+	}
+	// App core must show copy work.
+	if r.CPU[0].ByTag["copy"] <= 0 {
+		t.Error("app core copy accounting missing")
+	}
+}
+
+func TestGROEffectiveForTCPNotUDP(t *testing.T) {
+	tcp := Run(quick(steering.Vanilla, skb.TCP))
+	udp := Run(quick(steering.Vanilla, skb.UDP))
+	if tcp.GROFactor < 5 {
+		t.Errorf("TCP GRO factor %.1f, want substantial merging", tcp.GROFactor)
+	}
+	if udp.GROFactor != 1 {
+		t.Errorf("UDP GRO factor %.1f, want 1 (paper: GRO ineffective for UDP)", udp.GROFactor)
+	}
+}
+
+func TestUDPOverloadDropsNotTCP(t *testing.T) {
+	udp := Run(quick(steering.Vanilla, skb.UDP))
+	if udp.DropsRing+udp.DropsBacklog == 0 {
+		t.Error("overloaded vanilla UDP should shed load at ring/backlog")
+	}
+}
+
+func TestMultiFlowAdvantageShrinks(t *testing.T) {
+	// Fig. 10: MFLOW's advantage over vanilla shrinks as flows grow and
+	// spare CPU disappears.
+	gain := func(flows int) float64 {
+		mk := func(sys steering.System) float64 {
+			return Run(Scenario{
+				System: sys, Proto: skb.TCP, MsgSize: 4096,
+				Flows: flows, KernelCores: 10, AppCores: 5,
+				Warmup: 2 * sim.Millisecond, Measure: 6 * sim.Millisecond,
+			}).Gbps
+		}
+		return mk(steering.MFlow)/mk(steering.Vanilla) - 1
+	}
+	few := gain(2)
+	many := gain(16)
+	if !(few > many) {
+		t.Errorf("advantage should shrink with flows: %.0f%% @2 vs %.0f%% @16", few*100, many*100)
+	}
+	if few < 0.1 {
+		t.Errorf("MFLOW should clearly win at low flow counts, got %.0f%%", few*100)
+	}
+}
+
+func TestSlimExtensionBaseline(t *testing.T) {
+	// Slim bypasses the overlay: near-native TCP, vanilla-overlay UDP.
+	slimTCP := Run(quick(steering.Slim, skb.TCP))
+	nativeTCP := Run(quick(steering.Native, skb.TCP))
+	if rel := slimTCP.Gbps / nativeTCP.Gbps; rel < 0.9 || rel > 1.1 {
+		t.Errorf("Slim TCP (%.1f) should be near native (%.1f)", slimTCP.Gbps, nativeTCP.Gbps)
+	}
+	slimUDP := Run(quick(steering.Slim, skb.UDP))
+	vanUDP := Run(quick(steering.Vanilla, skb.UDP))
+	if rel := slimUDP.Gbps / vanUDP.Gbps; rel < 0.9 || rel > 1.1 {
+		t.Errorf("Slim UDP (%.1f) must degrade to vanilla overlay (%.1f)", slimUDP.Gbps, vanUDP.Gbps)
+	}
+}
+
+func TestCopyThreadsLiftCeiling(t *testing.T) {
+	// The paper's future work: parallelizing the single delivery-copy
+	// thread lifts MFLOW's residual bottleneck.
+	one := quick(steering.MFlow, skb.TCP)
+	one.KernelCores = 8
+	one.MFlow.SplitCores = 3
+	two := one
+	two.AppCores = 2
+	two.CopyThreads = 2
+	r1 := Run(one)
+	r2 := Run(two)
+	if !(r2.Gbps > 1.3*r1.Gbps) {
+		t.Errorf("2 copy threads (%.1f) should clearly beat 1 (%.1f)", r2.Gbps, r1.Gbps)
+	}
+	if r2.TCPOFOSegments != 0 {
+		t.Errorf("parallel copy must not corrupt TCP ordering bookkeeping: ofo=%d", r2.TCPOFOSegments)
+	}
+}

@@ -1,0 +1,135 @@
+package overlay
+
+import (
+	"math"
+
+	"mflow/internal/metrics"
+	"mflow/internal/sim"
+)
+
+// Run executes a scenario: build the topology, warm it up, measure, and
+// report. Runs are deterministic for a fixed scenario (seed included).
+func Run(sc Scenario) *Result {
+	sc = sc.withDefaults()
+	h := buildHost(sc)
+	return h.run()
+}
+
+// snapshot captures the counters that measurement windows are diffed over.
+type snapshot struct {
+	bytes, msgs, packets uint64
+	ring, sock, backlog  uint64
+	ooo, oooSKB          uint64
+	tcpOFO, switches     uint64
+	deliveredOOO         uint64
+}
+
+func (h *host) counters() snapshot {
+	var s snapshot
+	for _, fp := range h.flows {
+		s.bytes += fp.sock.Bytes
+		s.msgs += fp.sock.Msgs
+		s.packets += fp.sock.Packets
+		s.sock += fp.sock.Dropped()
+		if fp.tcpRx != nil {
+			s.tcpOFO += fp.tcpRx.OOOArrivals
+		}
+		if fp.reasm != nil {
+			s.ooo += fp.reasm.OOOSegments
+			s.oooSKB += fp.reasm.OOOSKBs
+			s.switches += fp.reasm.Switches
+			if fp.udpRx != nil {
+				s.deliveredOOO += fp.udpRx.OOOArrivals
+			}
+		} else if fp.udpRx != nil {
+			s.ooo += fp.udpRx.OOOArrivals
+			s.oooSKB += fp.udpRx.OOOArrivals
+			s.deliveredOOO += fp.udpRx.OOOArrivals
+		}
+	}
+	s.ring = h.nic.Dropped
+	for _, st := range h.stages {
+		s.backlog += st.worker.Dropped
+	}
+	return s
+}
+
+func (h *host) run() *Result {
+	sc := h.sc
+
+	// Warmup: let windows fill and queues reach steady state.
+	h.sched.RunUntil(sim.Time(sc.Warmup))
+	busy0, tags0 := metrics.CaptureBusy(h.cores)
+	snap0 := h.counters()
+	for _, fp := range h.flows {
+		fp.sock.Latency.Reset()
+	}
+	start := h.sched.Now()
+
+	// Measurement window.
+	end := sim.Time(sc.Warmup + sc.Measure)
+	h.sched.RunUntil(end)
+	snap1 := h.counters()
+	cpu := metrics.SnapshotCPU(h.cores, busy0, tags0, start, end)
+
+	for _, fp := range h.flows {
+		for _, stop := range fp.stops {
+			stop()
+		}
+	}
+
+	res := &Result{
+		Scenario: sc,
+		Latency:  metrics.NewHistogram(),
+		CPU:      cpu,
+	}
+	window := end.Sub(start).Seconds()
+	res.DeliveredBytes = snap1.bytes - snap0.bytes
+	res.DeliveredSegments = snap1.packets - snap0.packets
+	res.Gbps = float64(res.DeliveredBytes) * 8 / window / 1e9
+	res.MsgPerSec = float64(snap1.msgs-snap0.msgs) / window
+	for _, fp := range h.flows {
+		res.Latency.Merge(fp.sock.Latency)
+	}
+	res.OOOSegments = snap1.ooo - snap0.ooo
+	res.OOOSKBs = snap1.oooSKB - snap0.oooSKB
+	res.TCPOFOSegments = snap1.tcpOFO - snap0.tcpOFO
+	res.ReassemblySwitches = snap1.switches - snap0.switches
+	res.DeliveredOutOfOrder = snap1.deliveredOOO - snap0.deliveredOOO
+	for _, fp := range h.flows {
+		res.WireErrors += fp.sock.VerifyErrors
+		if fp.vx != nil {
+			res.WireErrors += fp.vx.Errors
+		}
+	}
+	res.DropsRing = snap1.ring - snap0.ring
+	res.DropsSock = snap1.sock - snap0.sock
+	res.DropsBacklog = snap1.backlog - snap0.backlog
+
+	// Kernel-core balance (Fig. 12's metric): mean/stddev of per-core
+	// utilization percentages across the kernel pool.
+	var kutil []float64
+	for _, s := range cpu[sc.AppCores:] {
+		kutil = append(kutil, s.Total*100)
+	}
+	_, res.KernelCPUStddev = metrics.MeanStddev(kutil)
+	for _, u := range kutil {
+		res.KernelCPUTotal += u
+	}
+
+	// Achieved GRO merge factor across engines.
+	var segs, skbs uint64
+	for _, g := range h.gros {
+		segs += g.SegsIn
+		skbs += g.SkbsOut
+	}
+	if skbs > 0 {
+		res.GROFactor = float64(segs) / float64(skbs)
+	} else {
+		res.GROFactor = 1
+	}
+	if math.IsNaN(res.Gbps) {
+		res.Gbps = 0
+	}
+	return res
+}

@@ -1,0 +1,261 @@
+package overlay
+
+import (
+	"fmt"
+	"io"
+
+	"mflow/internal/metrics"
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+	"mflow/internal/trace"
+)
+
+// MFlowConfig selects MFLOW's splitting topology for a scenario.
+type MFlowConfig struct {
+	// BatchSize is the micro-flow batch size in segments (default 256).
+	BatchSize int
+	// SplitCores is the number of parallel splitting cores (default 2).
+	SplitCores int
+	// FullPath enables IRQ-splitting full-path scaling: dispatch raw
+	// driver requests before skb allocation and parallelize the whole
+	// pipeline, merging before the TCP layer (the paper's TCP
+	// configuration, Fig. 5 bottom / Fig. 8b left).
+	FullPath bool
+	// PipelinePairs further pipelines each parallel branch across two
+	// cores — skb allocation on one, the remaining devices on another —
+	// the exact Fig. 8b TCP layout. Only meaningful with FullPath.
+	PipelinePairs bool
+	// LateMerge merges micro-flows at the socket instead of right after
+	// the heavy device (the paper's UDP configuration, and the default).
+	LateMerge bool
+	// EarlyMerge (ablation) merges right after the heavy VxLAN device
+	// and runs the rest of the path on one core (overrides LateMerge).
+	EarlyMerge bool
+	// FlowSplitOnly is an ablation: use only the flow-splitting function
+	// (post-skb, at netif_rx) even for TCP, without IRQ splitting — skb
+	// allocation stays serialized on the first core.
+	FlowSplitOnly bool
+	// PerPacketReorder is an ablation: skip the batch reassembler and
+	// let the kernel's per-packet out-of-order queue restore order.
+	PerPacketReorder bool
+	// NoReassembly is an ablation for UDP: deliver micro-flows as they
+	// complete with no order restoration at all.
+	NoReassembly bool
+	// AutoDetect splits only flows the elephant detector promotes
+	// (per-flow EWMA rate over ElephantBps); mice take the single-core
+	// path through the same reassembler, so reclassification at
+	// micro-flow boundaries never reorders packets. The paper splits
+	// "any identified (elephant) flow" — this is the identification.
+	AutoDetect bool
+	// ElephantBps is the promotion threshold (default 1 Gbps).
+	ElephantBps float64
+}
+
+// withDefaults normalizes an MFlowConfig for the given protocol: the
+// paper's defaults are batch 256, two splitting cores, full-path scaling
+// for TCP and single-device scaling with late merge for UDP (§V).
+func (m MFlowConfig) withDefaults(proto skb.Proto) MFlowConfig {
+	if m.BatchSize <= 0 {
+		m.BatchSize = 256
+	}
+	if m.SplitCores <= 0 {
+		m.SplitCores = 2
+	}
+	if proto == skb.TCP {
+		if m.FlowSplitOnly {
+			m.FullPath = false
+			m.PipelinePairs = false
+		} else {
+			// TCP defaults to the paper's full-path scaling with
+			// pipelined branch pairs (Fig. 8b) unless a specific
+			// ablation topology was requested.
+			if !m.FullPath && !m.PipelinePairs {
+				m.FullPath = true
+				m.PipelinePairs = true
+			}
+			if m.PipelinePairs {
+				m.FullPath = true
+			}
+		}
+		m.LateMerge = false
+	} else {
+		m.FullPath = false
+		m.PipelinePairs = false
+		if m.EarlyMerge {
+			m.LateMerge = false
+		} else if !m.PerPacketReorder && !m.NoReassembly {
+			m.LateMerge = true
+		}
+	}
+	return m
+}
+
+// Scenario describes one experiment run.
+type Scenario struct {
+	// System selects the packet-steering configuration under test.
+	System steering.System
+	// Proto and MsgSize describe the sockperf-like workload.
+	Proto   skb.Proto
+	MsgSize int
+	// Flows is the number of concurrent flows (default 1).
+	Flows int
+	// UDPClients is the number of client machines stressing each UDP
+	// flow (the paper uses three; default 3 for UDP).
+	UDPClients int
+	// Window is the TCP sender's outstanding-segment limit (default 512).
+	Window int
+	// KernelCores / AppCores size the receiving host's core pools
+	// (defaults 6 and 1; the multi-flow experiments use 10 and 5).
+	KernelCores int
+	AppCores    int
+	// MFlow configures MFLOW when System == steering.MFlow.
+	MFlow MFlowConfig
+	// Costs overrides the calibrated cost table (nil = DefaultCosts).
+	Costs *CostModel
+	// SharedQueue pins every overlay flow's first softirq to the same
+	// core, modeling the default Docker/VxLAN pathology where the NIC
+	// hashes only outer headers (one host pair ⇒ one RSS queue) — the
+	// regime the application-level benchmarks run in. Ignored for the
+	// native system, whose flows carry full RSS entropy.
+	SharedQueue bool
+	// Tracer, when set, records per-packet journeys through the pipeline
+	// (subject to the tracer's own filters and cap).
+	Tracer *trace.Tracer
+	// Capture, when set together with WireMode, streams every frame
+	// arriving at the NIC into a pcap capture written to this writer.
+	Capture io.Writer
+	// CopyThreads parallelizes the user-space delivery copy across this
+	// many application cores (the paper's stated future work for the
+	// residual core-0 bottleneck). Default 1 — the paper's system.
+	CopyThreads int
+	// WireMode attaches real wire bytes to every segment: senders build
+	// genuine inner frames and VxLAN encapsulation; the tunnel device
+	// decapsulates actual bytes; the socket verifies payload integrity
+	// on delivery. Slower; used for end-to-end validation.
+	WireMode bool
+	// ModelTX replaces the aggregate client-cost model with an explicit
+	// sender-side transmit pipeline (socket send path, GSO, container
+	// egress chain, qdisc, NIC TX, wire serialization) — see txpath.
+	ModelTX bool
+	// NoTraffic builds the receive topology without the built-in
+	// sockperf-like senders; application-level workloads (web serving,
+	// data caching) drive the stack through a Stack instead.
+	NoTraffic bool
+	// Seed makes the run deterministic.
+	Seed uint64
+	// Warmup precedes measurement; Measure is the measured window.
+	Warmup  sim.Duration
+	Measure sim.Duration
+}
+
+// withDefaults fills unset scenario fields.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.MsgSize <= 0 {
+		sc.MsgSize = 65536
+	}
+	if sc.Flows <= 0 {
+		sc.Flows = 1
+	}
+	if sc.UDPClients <= 0 {
+		if sc.Proto == skb.UDP {
+			sc.UDPClients = 3
+		} else {
+			sc.UDPClients = 1
+		}
+	}
+	if sc.Window <= 0 {
+		sc.Window = 2048
+	}
+	if sc.KernelCores <= 0 {
+		sc.KernelCores = 6
+	}
+	if sc.AppCores <= 0 {
+		sc.AppCores = 1
+	}
+	if sc.Costs == nil {
+		sc.Costs = DefaultCosts()
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 42
+	}
+	if sc.Warmup <= 0 {
+		sc.Warmup = 4 * sim.Millisecond
+	}
+	if sc.Measure <= 0 {
+		sc.Measure = 24 * sim.Millisecond
+	}
+	sc.MFlow = sc.MFlow.withDefaults(sc.Proto)
+	return sc
+}
+
+// Name renders a compact scenario identifier.
+func (sc Scenario) Name() string {
+	return fmt.Sprintf("%s/%s/%s/flows=%d", sc.System, sc.Proto, sizeLabel(sc.MsgSize), sc.Flows)
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1024 && n%1024 == 0:
+		return fmt.Sprintf("%dKB", n/1024)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Result is the measured outcome of one scenario run.
+type Result struct {
+	Scenario Scenario
+
+	// Gbps is delivered application goodput over the measured window;
+	// MsgPerSec the message completion rate.
+	Gbps      float64
+	MsgPerSec float64
+	// Latency is the per-message delivery latency distribution (ns).
+	Latency *metrics.Histogram
+
+	// CPU is the per-core utilization over the measured window, with
+	// per-softirq breakdown; KernelCPUStddev is the stddev (in
+	// percentage points) of utilization across kernel cores (Fig. 12's
+	// balance metric); KernelCPUTotal sums kernel-core utilization.
+	CPU             []metrics.CPUSample
+	KernelCPUStddev float64
+	KernelCPUTotal  float64
+
+	// OOOSegments / OOOSKBs count out-of-order arrivals at MFLOW's merge
+	// points (in wire segments and in delivery units — post-GRO skbs —
+	// respectively; Fig. 7 reports the latter, the number of deliveries
+	// the kernel would otherwise have had to reorder).
+	// TCPOFOSegments counts skbs parked in the kernel TCP out-of-order
+	// queue; ReassemblySwitches counts micro-flow rotations.
+	OOOSegments        uint64
+	OOOSKBs            uint64
+	TCPOFOSegments     uint64
+	ReassemblySwitches uint64
+	// DeliveredOutOfOrder counts UDP datagrams reaching the application
+	// out of order after whatever order restoration the topology does
+	// (zero for TCP by construction; near-zero for MFLOW's reassembler).
+	DeliveredOutOfOrder uint64
+
+	// DropsRing / DropsSock / DropsBacklog count losses at the NIC ring,
+	// socket receive queue and intermediate backlog queues.
+	DropsRing    uint64
+	DropsSock    uint64
+	DropsBacklog uint64
+
+	// WireErrors counts wire-mode integrity failures (decap errors plus
+	// socket payload-verification failures); zero in a correct run.
+	WireErrors uint64
+	// DeliveredBytes / DeliveredSegments over the measured window.
+	DeliveredBytes    uint64
+	DeliveredSegments uint64
+	// GROFactor is the achieved merge factor.
+	GROFactor float64
+}
+
+// String summarizes the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("%-28s %7.2f Gbps  p50=%s p99=%s",
+		r.Scenario.Name(), r.Gbps,
+		sim.Duration(r.Latency.Median()), sim.Duration(r.Latency.P99()))
+}

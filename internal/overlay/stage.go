@@ -1,0 +1,94 @@
+package overlay
+
+import (
+	"mflow/internal/gro"
+	"mflow/internal/netdev"
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/trace"
+)
+
+// stage is one softirq worker: a queue on a core that, per poll round,
+// charges its pre-GRO devices per incoming skb, optionally coalesces with
+// GRO, charges its post-GRO devices per resulting skb (applying their
+// semantic actions, e.g. VxLAN decap), and hands each result downstream at
+// its completion instant. A per-emission handoff cost models explicit
+// pipeline transfers (FALCON) or steering (RPS).
+type stage struct {
+	name   string
+	worker *sim.Worker[*skb.SKB]
+	sched  *sim.Scheduler
+
+	pre  []*netdev.Device
+	gro  *gro.GRO
+	post []*netdev.Device
+
+	// each, if set, runs per incoming skb after the pre devices (used
+	// for the split driver's completion-update batching).
+	each func(*skb.SKB, *sim.Core)
+
+	// handoff is charged on this stage's core per emitted skb.
+	handoff sim.Duration
+
+	// tracer records each emitted skb (nil = disabled).
+	tracer *trace.Tracer
+
+	out func(*skb.SKB, sim.Time)
+}
+
+// newStage builds a stage on core. Cross-core feeders should leave wake as
+// the backlog wake delay; the NIC overrides it for ring-fed stages.
+func newStage(name string, coreC *sim.Core, sched *sim.Scheduler, cfg *CostModel, cap int, wake sim.Duration) *stage {
+	st := &stage{name: name, sched: sched}
+	st.worker = &sim.Worker[*skb.SKB]{
+		Name:         "softirq",
+		Core:         coreC,
+		Sched:        sched,
+		Budget:       sim.DefaultBudget,
+		Cap:          cap,
+		PollOverhead: cfg.PollOverhead,
+		WakeDelay:    wake,
+	}
+	st.worker.ProcessBatch = st.process
+	return st
+}
+
+func (st *stage) core() *sim.Core { return st.worker.Core }
+
+func (st *stage) process(batch []*skb.SKB) {
+	c := st.worker.Core
+	for _, s := range batch {
+		for _, d := range st.pre {
+			c.Exec(d.CostOf(s), d.Name)
+			d.Apply(s)
+		}
+		if st.each != nil {
+			st.each(s, c)
+		}
+	}
+	if st.gro != nil {
+		batch = st.gro.Coalesce(batch)
+	}
+	for _, s := range batch {
+		end := st.sched.Now()
+		for _, d := range st.post {
+			_, end = c.Exec(d.CostOf(s), d.Name)
+			d.Apply(s)
+		}
+		if st.handoff > 0 {
+			_, end = c.Exec(st.handoff, "handoff")
+		}
+		if len(st.post) == 0 && st.handoff == 0 {
+			end = c.FreeAt()
+		}
+		st.tracer.Record(end, s.FlowID, s.Seq, s.Segs, st.name, c.ID)
+		s := s
+		st.sched.At(end, func() { st.out(s, end) })
+	}
+}
+
+// feed returns an enqueue function for wiring a previous stage's output
+// into this stage.
+func (st *stage) feed() func(*skb.SKB, sim.Time) {
+	return func(s *skb.SKB, _ sim.Time) { st.worker.Enqueue(s) }
+}

@@ -1,0 +1,469 @@
+package overlay
+
+import (
+	"fmt"
+
+	mflow "mflow/internal/core"
+	"mflow/internal/gro"
+	"mflow/internal/netdev"
+	"mflow/internal/nic"
+	"mflow/internal/packet"
+	"mflow/internal/pcap"
+	"mflow/internal/proto"
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+	"mflow/internal/traffic"
+	"mflow/internal/txpath"
+)
+
+const sameCoreWake = 200 // softirq re-raise latency on the same core
+
+// udpBacklogCap bounds intermediate queues on UDP paths
+// (netdev_max_backlog-style); TCP paths are window-limited instead.
+const udpBacklogCap = 1000
+
+// host is a fully wired receive-side machine plus its traffic sources.
+type host struct {
+	sc      Scenario
+	sched   *sim.Scheduler
+	cores   []*sim.Core // [0,AppCores) app, [AppCores,..) kernel
+	clients []*sim.Core
+	nic     *nic.NIC
+	flows   []*flowPath
+	stages  []*stage
+	gros    []*gro.GRO
+	capture *pcap.Writer
+}
+
+// flowPath is one flow's receive pipeline endpoints and sources.
+type flowPath struct {
+	id     uint64
+	sock   *proto.Socket
+	tcpRx  *proto.TCPReceiver
+	udpRx  *proto.UDPReceiver
+	reasm  *mflow.Reassembler
+	split  *mflow.Splitter
+	detect *mflow.Detector
+	vx     *netdev.VXLAN
+	stops  []func()
+}
+
+// encapIngress models the sending host's VxLAN encapsulation: frames arrive
+// at the receiver's pNIC already wrapped in outer headers.
+type encapIngress struct{ inner traffic.Ingress }
+
+// Deliver implements traffic.Ingress.
+func (e encapIngress) Deliver(s *skb.SKB) bool {
+	s.Encap = true
+	s.WireLen += packet.OverlayOverhead * s.Segs
+	return e.inner.Deliver(s)
+}
+
+// captureTap streams every wire frame entering the NIC into the host's
+// pcap capture.
+type captureTap struct {
+	h     *host
+	inner traffic.Ingress
+}
+
+// Deliver implements traffic.Ingress.
+func (c *captureTap) Deliver(s *skb.SKB) bool {
+	if s.Data != nil {
+		// Capture errors only mean the sink failed; the simulation
+		// proceeds regardless.
+		_ = c.h.capture.WritePacket(c.h.sched.Now(), s.Data)
+	}
+	return c.inner.Deliver(s)
+}
+
+// arrivalSeq re-stamps each segment's sequence number with its NIC arrival
+// order. Sequence numbers define the flow's in-order contract for splitting
+// and reassembly; with several independent clients stressing one UDP flow,
+// only arrival order is meaningful.
+type arrivalSeq struct {
+	n    *nic.NIC
+	next uint64
+}
+
+// Deliver implements traffic.Ingress.
+func (a *arrivalSeq) Deliver(s *skb.SKB) bool {
+	s.Seq = a.next
+	a.next += uint64(s.Segs)
+	return a.n.Deliver(s)
+}
+
+func dev(name string, c netdev.Cost) *netdev.Device {
+	return &netdev.Device{Name: name, Cost: c}
+}
+
+// baseFor returns flow f's IRQ/base kernel-core offset: RSS hashing in the
+// normal regime (collisions included — with 10 flows on 10 cores some cores
+// carry two flows while others idle, exactly like real hashing), core 0 in
+// the shared-queue regime.
+func (h *host) baseFor(f int, overlayPath bool) int {
+	if h.sc.SharedQueue && overlayPath {
+		return 0
+	}
+	if h.sc.Flows == 1 {
+		return 0
+	}
+	return int(nic.Hash64(uint64(f)+0x9e37) % uint64(h.sc.KernelCores))
+}
+
+// kcore returns kernel core at offset i (mod pool size).
+func (h *host) kcore(i int) *sim.Core {
+	k := h.sc.KernelCores
+	return h.cores[h.sc.AppCores+((i%k)+k)%k]
+}
+
+// acore returns the app core serving flow f.
+func (h *host) acore(f int) *sim.Core {
+	return h.cores[f%h.sc.AppCores]
+}
+
+func (h *host) newClientCore() *sim.Core {
+	c := sim.NewCore(1000+len(h.clients), h.sched)
+	h.clients = append(h.clients, c)
+	return c
+}
+
+// newStageT builds a stage and attaches the scenario tracer.
+func (h *host) newStageT(name string, coreC *sim.Core, cap int, wake sim.Duration) *stage {
+	st := newStage(name, coreC, h.sched, h.sc.Costs, cap, wake)
+	st.tracer = h.sc.Tracer
+	return st
+}
+
+// buildHost constructs the complete topology for a scenario.
+func buildHost(sc Scenario) *host {
+	h := &host{sc: sc, sched: sim.NewScheduler(sc.Seed)}
+	cfg := sc.Costs
+	total := sc.AppCores + sc.KernelCores
+	h.cores = sim.NewCores(total, h.sched)
+	for _, c := range h.cores[sc.AppCores:] {
+		c.JitterAmp = cfg.JitterAmp
+		c.InterferenceProb = cfg.InterferenceProb
+		c.InterferenceMean = cfg.InterferenceMean
+	}
+	nicCfg := cfg.NIC
+	nicCfg.Queues = sc.Flows
+	h.nic = nic.New(nicCfg, h.sched)
+	if sc.Capture != nil && sc.WireMode {
+		h.capture = pcap.NewWriter(sc.Capture)
+	}
+
+	for f := 0; f < sc.Flows; f++ {
+		h.buildFlow(f)
+	}
+	return h
+}
+
+// buildFlow wires flow f's receive pipeline and its sender(s).
+func (h *host) buildFlow(f int) {
+	sc := h.sc
+	cfg := sc.Costs
+	fp := &flowPath{id: uint64(f + 1)}
+	h.flows = append(h.flows, fp)
+	h.nic.PinFlow(fp.id, f)
+
+	overlay := isOverlay(sc.System, sc.Proto)
+	// Socket: the app receive thread. MFLOW's TCP full-path config merges
+	// before the TCP layer and runs TCP processing in the delivery thread
+	// (tcp_recvmsg), so its socket charges TCP + copy.
+	copyCost := cfg.Copy
+	sockCap := 0
+	if sc.Proto == skb.UDP {
+		sockCap = udpBacklogCap * 2
+	}
+	if sc.System == steering.MFlow && sc.Proto == skb.TCP {
+		copyCost = cfg.Copy.Add(cfg.TCPRx)
+	}
+	fp.sock = proto.NewSocket(sc.Proto, h.acore(f), h.sched, copyCost, sockCap)
+	for i := 1; i < sc.CopyThreads; i++ {
+		fp.sock.AddCopyThread(h.cores[(f+i)%sc.AppCores], copyCost, sockCap)
+	}
+	if tr := sc.Tracer; tr != nil {
+		app := h.acore(f)
+		fp.sock.Tap = func(s *skb.SKB, at sim.Time) {
+			tr.Record(at, s.FlowID, s.Seq, s.Segs, "socket", app.ID)
+		}
+	}
+
+	var first *stage
+	if sc.System == steering.MFlow {
+		first = h.buildMFlowFlow(f, fp)
+	} else {
+		first = h.buildPlannedFlow(f, fp)
+	}
+	h.nic.AttachDriver(f, first.worker)
+	if sc.NoTraffic {
+		return
+	}
+
+	// Traffic sources.
+	var ingress traffic.Ingress = h.nic
+	if sc.Proto == skb.UDP && sc.UDPClients > 1 {
+		// Several clients share the flow: sequence numbers only make
+		// sense in NIC arrival order.
+		ingress = &arrivalSeq{n: h.nic}
+	}
+	switch {
+	case sc.WireMode:
+		// Real bytes end to end; the builder also performs the
+		// encapsulation accounting.
+		if h.capture != nil {
+			ingress = &captureTap{h: h, inner: ingress}
+		}
+		ingress = newWireBuilder(ingress, fp.id, overlay)
+		fp.sock.Verify = wireVerify(fp)
+	case overlay:
+		ingress = encapIngress{ingress}
+	}
+	// Explicit sender-side pipeline: the sender's syscall work and the
+	// egress chain replace the aggregate client-cost model.
+	txWrap := func(base traffic.Ingress, app *sim.Core) traffic.Ingress {
+		if !sc.ModelTX {
+			return base
+		}
+		return txpath.New(app, h.newClientCore(), h.sched, txpath.DefaultCosts(), overlay, base)
+	}
+	clientCostTCP := cfg.TCPClient
+	clientCostUDP := cfg.UDPClient
+	if sc.ModelTX {
+		// txpath charges the socket path itself; the sender keeps only a
+		// residual per-call overhead.
+		clientCostTCP = traffic.ClientCost{PerSeg: 8}
+		clientCostUDP = traffic.ClientCost{PerSeg: 8}
+	}
+	if sc.Proto == skb.TCP {
+		appCore := h.newClientCore()
+		tx := &traffic.TCPSender{
+			FlowID:   fp.id,
+			MsgSize:  sc.MsgSize,
+			Window:   sc.Window,
+			Core:     appCore,
+			Sched:    h.sched,
+			Net:      txWrap(ingress, appCore),
+			NetDelay: cfg.NetDelay,
+			Cost:     clientCostTCP,
+		}
+		fp.sock.Ack = func(end uint64, _ sim.Time) {
+			h.sched.After(cfg.NetDelay, func() { tx.Ack(end, h.sched.Now()) })
+		}
+		h.sched.At(0, tx.Start)
+		fp.stops = append(fp.stops, tx.Stop)
+	} else {
+		seq := &traffic.SeqAlloc{}
+		for c := 0; c < sc.UDPClients; c++ {
+			appCore := h.newClientCore()
+			tx := &traffic.UDPSender{
+				FlowID:   fp.id,
+				MsgSize:  sc.MsgSize,
+				Core:     appCore,
+				Sched:    h.sched,
+				Net:      txWrap(ingress, appCore),
+				NetDelay: cfg.NetDelay,
+				Cost:     clientCostUDP,
+				Seq:      seq,
+				MsgBase:  uint64(c) << 40,
+			}
+			h.sched.At(0, tx.Start)
+			fp.stops = append(fp.stops, tx.Stop)
+		}
+	}
+}
+
+// tailFor returns the delivery function terminating a pipeline: transport
+// bookkeeping (ordering for TCP, reordering stats for UDP) then the socket
+// queue. core is the CPU context the transport bookkeeping runs in.
+func (h *host) tailFor(fp *flowPath, core *sim.Core) func(*skb.SKB, sim.Time) {
+	if h.sc.Proto == skb.TCP {
+		fp.tcpRx = &proto.TCPReceiver{
+			OOOQueueCost: h.sc.Costs.OOOQueue,
+			Deliver:      func(s *skb.SKB) { fp.sock.Enqueue(s) },
+		}
+		return func(s *skb.SKB, _ sim.Time) { fp.tcpRx.Rx(s, core) }
+	}
+	fp.udpRx = &proto.UDPReceiver{
+		Deliver: func(s *skb.SKB) { fp.sock.Enqueue(s) },
+	}
+	return func(s *skb.SKB, _ sim.Time) { fp.udpRx.Rx(s, core) }
+}
+
+// addStageDevices fills a stage's device lists for one plan stage.
+func (h *host) addStageDevices(st *stage, fp *flowPath, stg steering.Stage, overlay bool) {
+	cfg := h.sc.Costs
+	switch stg {
+	case steering.StageAlloc:
+		st.pre = append(st.pre, dev("alloc", cfg.Alloc))
+	case steering.StageGRO:
+		if h.sc.Proto == skb.TCP {
+			gcost := cfg.GRONative
+			if overlay {
+				gcost = cfg.GROOverlay
+			}
+			st.pre = append(st.pre, dev("gro", gcost))
+			st.gro = gro.New()
+			h.gros = append(h.gros, st.gro)
+		} else {
+			st.pre = append(st.pre, dev("gro", cfg.GROLookupUDP))
+		}
+		if overlay {
+			st.post = append(st.post, dev("ip", cfg.OuterIPUDP))
+		}
+	case steering.StageVXLAN:
+		st.post = append(st.post, fp.vxDevice(cfg))
+	case steering.StageInner:
+		if overlay {
+			st.post = append(st.post,
+				dev("bridge", cfg.Bridge),
+				dev("veth", cfg.Veth))
+		}
+		st.post = append(st.post, dev("ip", cfg.InnerIP))
+		if h.sc.Proto == skb.TCP {
+			st.post = append(st.post, dev("tcp", cfg.TCPRx))
+		} else {
+			st.post = append(st.post, dev("udp", cfg.UDPRx))
+		}
+		st.post = append(st.post, dev("sock", cfg.SockEnq))
+	}
+}
+
+// vxDevice lazily creates the flow's VxLAN tunnel endpoint device.
+func (fp *flowPath) vxDevice(cfg *CostModel) *netdev.Device {
+	if fp.vx == nil {
+		fp.vx = &netdev.VXLAN{VNI: uint32(fp.id)}
+	}
+	return fp.vx.RxDevice(cfg.VXLAN)
+}
+
+// isOverlay reports whether packets of this system/protocol arrive
+// encapsulated (Slim bypasses the overlay for TCP only).
+func isOverlay(sys steering.System, proto skb.Proto) bool {
+	if sys == steering.Native {
+		return false
+	}
+	if sys == steering.Slim && proto == skb.TCP {
+		return false
+	}
+	return true
+}
+
+// falconClasses partitions kernelCores across a handoff plan's stage
+// groups: VxLAN classes get exactly one core (one host-wide device), other
+// classes share the remainder proportionally to rough stage weights.
+func falconClasses(plan steering.Plan, kernelCores int) (starts, sizes []int) {
+	ng := len(plan.Groups)
+	starts = make([]int, ng)
+	sizes = make([]int, ng)
+	weights := make([]int, ng)
+	wsum := 0
+	spare := kernelCores
+	for i, g := range plan.Groups {
+		vx := false
+		w := 1
+		for _, stg := range g.Stages {
+			if stg == steering.StageVXLAN {
+				vx = true
+			}
+			if stg == steering.StageAlloc || stg == steering.StageGRO {
+				w = 2
+			}
+		}
+		if vx {
+			sizes[i] = 1
+			spare--
+		} else {
+			weights[i] = w
+			wsum += w
+		}
+	}
+	for i := range sizes {
+		if sizes[i] == 0 && wsum > 0 {
+			sizes[i] = spare * weights[i] / wsum
+			if sizes[i] < 1 {
+				sizes[i] = 1
+			}
+		}
+	}
+	off := 0
+	for i := range sizes {
+		starts[i] = off
+		off += sizes[i]
+	}
+	return starts, sizes
+}
+
+// buildPlannedFlow realizes a static placement plan (native, vanilla, RPS,
+// FALCON, Slim) and returns the first stage (the NIC driver softirq).
+func (h *host) buildPlannedFlow(f int, fp *flowPath) *stage {
+	sc := h.sc
+	cfg := sc.Costs
+	plan := steering.PlanFor(sc.System, sc.Proto)
+	overlay := isOverlay(sc.System, sc.Proto)
+	base := h.baseFor(f, overlay)
+	cap := 0
+	if sc.Proto == skb.UDP {
+		cap = udpBacklogCap
+	}
+
+	// FALCON pins device classes to cores: the kernel-core pool is
+	// partitioned per stage group and flow f's group-i softirq runs on a
+	// core of class i. Device classes have unequal weights, which is the
+	// source of FALCON's uneven per-core load (paper Fig. 12). The other
+	// plans place groups at flow-relative offsets.
+	// FALCON pins device classes to cores. The VxLAN device is one
+	// host-wide device whose softirq lands on a single core for every
+	// flow — precisely the paper's critique: a heavy device still
+	// saturates one core. The remaining classes partition the rest of
+	// the kernel pool, weighted by their rough stage cost so the heavy
+	// first softirq gets more cores.
+	starts, sizes := falconClasses(plan, sc.KernelCores)
+	coreFor := func(i int, g steering.Group) *sim.Core {
+		if !plan.Handoff {
+			return h.kcore(base + g.CoreOff)
+		}
+		return h.kcore(starts[i] + f%sizes[i])
+	}
+
+	n := len(plan.Groups)
+	stages := make([]*stage, n)
+	for i := n - 1; i >= 0; i-- {
+		g := plan.Groups[i]
+		coreC := coreFor(i, g)
+		wake := sim.Duration(sameCoreWake)
+		if i > 0 && coreFor(i-1, plan.Groups[i-1]) != coreC {
+			wake = cfg.BacklogWake
+		}
+		st := h.newStageT(fmt.Sprintf("%s-g%d", sc.System, i), coreC, cap, wake)
+		preGRO := false
+		for _, stg := range g.Stages {
+			h.addStageDevices(st, fp, stg, overlay)
+			if stg == steering.StageAlloc {
+				preGRO = true
+			}
+			if stg == steering.StageGRO {
+				preGRO = false
+			}
+		}
+		if i < n-1 {
+			switch {
+			case plan.Handoff:
+				st.handoff = cfg.HandoffPerSKB
+				if preGRO && plan.PreGROHandoff {
+					st.handoff += cfg.HandoffPreGROExtra
+				}
+			case sc.System == steering.RPS && i == 0:
+				st.handoff = cfg.RPSSteer
+			}
+			next := stages[i+1]
+			st.out = next.feed()
+		} else {
+			st.out = h.tailFor(fp, coreC)
+		}
+		stages[i] = st
+		h.stages = append(h.stages, st)
+	}
+	return stages[0]
+}

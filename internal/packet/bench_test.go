@@ -1,0 +1,59 @@
+package packet
+
+import "testing"
+
+var benchInner = BuildTCPFrame(
+	FlowAddr{MAC: MAC{2, 0, 0, 0, 0, 1}, IP: Addr4(172, 17, 0, 2), Port: 40000},
+	FlowAddr{MAC: MAC{2, 0, 0, 0, 0, 2}, IP: Addr4(172, 17, 0, 3), Port: 5001},
+	1, 0, 0, TCPAck, make([]byte, 1448))
+
+func BenchmarkEncapVXLAN(b *testing.B) {
+	b.SetBytes(int64(len(benchInner)))
+	for i := 0; i < b.N; i++ {
+		_ = EncapVXLAN(MAC{}, MAC{}, Addr4(10, 0, 0, 1), Addr4(10, 0, 0, 2), 1, uint16(i), benchInner)
+	}
+}
+
+func BenchmarkDecapVXLAN(b *testing.B) {
+	frame := EncapVXLAN(MAC{}, MAC{}, Addr4(10, 0, 0, 1), Addr4(10, 0, 0, 2), 1, 0, benchInner)
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecapVXLAN(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksum1500(b *testing.B) {
+	buf := make([]byte, 1500)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		_ = Checksum(buf)
+	}
+}
+
+func BenchmarkParseInner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, _, err := ParseInner(benchInner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkFrames(b *testing.B) {
+	var buf []byte
+	for i := 0; i < 16; i++ {
+		buf = append(buf, benchInner...)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WalkFrames(buf, func([]byte) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

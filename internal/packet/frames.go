@@ -1,0 +1,72 @@
+package packet
+
+// FlowAddr identifies one end of a transport flow.
+type FlowAddr struct {
+	MAC  MAC
+	IP   IPv4Addr
+	Port uint16
+}
+
+// BuildUDPFrame assembles a complete inner Ethernet/IPv4/UDP frame carrying
+// payload from src to dst.
+func BuildUDPFrame(src, dst FlowAddr, ipID uint16, payload []byte) []byte {
+	buf := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen+len(payload))
+	eth := Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: EtherTypeIPv4}
+	buf = eth.Marshal(buf)
+	ip := IPv4{
+		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + len(payload)),
+		ID:       ipID,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      src.IP,
+		Dst:      dst.IP,
+	}
+	buf = ip.Marshal(buf)
+	udp := UDP{SrcPort: src.Port, DstPort: dst.Port, Length: uint16(UDPHeaderLen + len(payload))}
+	buf = udp.Marshal(buf)
+	return append(buf, payload...)
+}
+
+// BuildTCPFrame assembles a complete inner Ethernet/IPv4/TCP frame carrying
+// payload from src to dst with the given sequence number.
+func BuildTCPFrame(src, dst FlowAddr, ipID uint16, seq, ack uint32, flags byte, payload []byte) []byte {
+	buf := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+TCPHeaderLen+len(payload))
+	eth := Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: EtherTypeIPv4}
+	buf = eth.Marshal(buf)
+	ip := IPv4{
+		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen + len(payload)),
+		ID:       ipID,
+		Flags:    FlagDF,
+		TTL:      64,
+		Protocol: ProtoTCP,
+		Src:      src.IP,
+		Dst:      dst.IP,
+	}
+	buf = ip.Marshal(buf)
+	tcp := TCP{SrcPort: src.Port, DstPort: dst.Port, Seq: seq, Ack: ack, Flags: flags, Window: 65535}
+	buf = tcp.Marshal(buf)
+	return append(buf, payload...)
+}
+
+// ParseInner decodes an inner Ethernet frame down to its transport payload,
+// returning the headers encountered. tcp is meaningful only when
+// ip.Protocol == ProtoTCP, udp only for ProtoUDP.
+func ParseInner(frame []byte) (eth Ethernet, ip IPv4, tcp TCP, udp UDP, payload []byte, err error) {
+	eth, p, err := ParseEthernet(frame)
+	if err != nil {
+		return
+	}
+	ip, p, err = ParseIPv4(p)
+	if err != nil {
+		return
+	}
+	switch ip.Protocol {
+	case ProtoTCP:
+		tcp, payload, err = ParseTCP(p)
+	case ProtoUDP:
+		udp, payload, err = ParseUDP(p)
+	default:
+		payload = p
+	}
+	return
+}

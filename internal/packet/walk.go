@@ -1,0 +1,80 @@
+package packet
+
+// FrameLen returns the total length of the Ethernet frame at the start of
+// b (Ethernet header + the IPv4 TotalLen), without validating checksums.
+func FrameLen(b []byte) (int, error) {
+	if len(b) < EthernetHeaderLen+IPv4HeaderLen {
+		return 0, ErrTruncated
+	}
+	ipb := b[EthernetHeaderLen:]
+	if ipb[0]>>4 != 4 {
+		return 0, ErrBadVersion
+	}
+	total := int(uint16(ipb[2])<<8 | uint16(ipb[3]))
+	if total < IPv4HeaderLen {
+		return 0, ErrTruncated
+	}
+	n := EthernetHeaderLen + total
+	if n > len(b) {
+		return 0, ErrTruncated
+	}
+	return n, nil
+}
+
+// WalkFrames invokes fn for every back-to-back Ethernet frame in b (the
+// layout GRO produces when it coalesces segments). It stops at the first
+// malformed frame, returning the error.
+func WalkFrames(b []byte, fn func(frame []byte) error) error {
+	for len(b) > 0 {
+		n, err := FrameLen(b)
+		if err != nil {
+			return err
+		}
+		if err := fn(b[:n]); err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}
+
+// DecapVXLANAll decapsulates every back-to-back outer frame in b (a GRO
+// super-packet of encapsulated segments), returning the concatenated inner
+// frames. Every frame must carry the same VNI, which is returned.
+func DecapVXLANAll(b []byte) (vni uint32, inner []byte, err error) {
+	first := true
+	err = WalkFrames(b, func(frame []byte) error {
+		v, in, err := DecapVXLAN(frame)
+		if err != nil {
+			return err
+		}
+		if first {
+			vni = v
+			first = false
+		} else if v != vni {
+			return ErrNotVXLAN
+		}
+		inner = append(inner, in...)
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return vni, inner, nil
+}
+
+// PayloadBytes walks the back-to-back inner frames in b and sums their
+// transport payload lengths — the application bytes a receiver would copy
+// to user space.
+func PayloadBytes(b []byte) (int, error) {
+	total := 0
+	err := WalkFrames(b, func(frame []byte) error {
+		_, _, _, _, payload, err := ParseInner(frame)
+		if err != nil {
+			return err
+		}
+		total += len(payload)
+		return nil
+	})
+	return total, err
+}

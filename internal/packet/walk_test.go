@@ -1,0 +1,91 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func frames(t *testing.T, payloads ...string) []byte {
+	t.Helper()
+	src := FlowAddr{MAC: macA, IP: ipA, Port: 1111}
+	dst := FlowAddr{MAC: macB, IP: ipB, Port: 2222}
+	var buf []byte
+	for i, p := range payloads {
+		buf = append(buf, BuildUDPFrame(src, dst, uint16(i), []byte(p))...)
+	}
+	return buf
+}
+
+func TestFrameLen(t *testing.T) {
+	b := frames(t, "hello")
+	n, err := FrameLen(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen + 5
+	if n != want {
+		t.Errorf("FrameLen=%d, want %d", n, want)
+	}
+	if _, err := FrameLen(b[:10]); err != ErrTruncated {
+		t.Errorf("truncated: %v", err)
+	}
+	bad := append([]byte(nil), b...)
+	bad[EthernetHeaderLen] = 0x60
+	if _, err := FrameLen(bad); err != ErrBadVersion {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestWalkFrames(t *testing.T) {
+	b := frames(t, "one", "twotwo", "three33")
+	var got []int
+	err := WalkFrames(b, func(f []byte) error {
+		got = append(got, len(f))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("walked %d frames, want 3", len(got))
+	}
+	// Truncated tail stops the walk with an error.
+	if err := WalkFrames(b[:len(b)-2], func([]byte) error { return nil }); err == nil {
+		t.Error("truncated walk should fail")
+	}
+}
+
+func TestPayloadBytes(t *testing.T) {
+	b := frames(t, "abc", "defgh")
+	n, err := PayloadBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("payload %d bytes, want 8", n)
+	}
+}
+
+func TestDecapVXLANAll(t *testing.T) {
+	inner1 := BuildUDPFrame(FlowAddr{MAC: macA, IP: ipA, Port: 1}, FlowAddr{MAC: macB, IP: ipB, Port: 2}, 0, []byte("aa"))
+	inner2 := BuildUDPFrame(FlowAddr{MAC: macA, IP: ipA, Port: 1}, FlowAddr{MAC: macB, IP: ipB, Port: 2}, 1, []byte("bbbb"))
+	buf := EncapVXLAN(macA, macB, ipA, ipB, 9, 0, inner1)
+	buf = append(buf, EncapVXLAN(macA, macB, ipA, ipB, 9, 1, inner2)...)
+
+	vni, inner, err := DecapVXLANAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vni != 9 {
+		t.Errorf("vni=%d", vni)
+	}
+	if !bytes.Equal(inner, append(append([]byte(nil), inner1...), inner2...)) {
+		t.Error("concatenated inner frames corrupted")
+	}
+	// Mixed VNIs must be rejected.
+	mixed := EncapVXLAN(macA, macB, ipA, ipB, 9, 0, inner1)
+	mixed = append(mixed, EncapVXLAN(macA, macB, ipA, ipB, 10, 1, inner2)...)
+	if _, _, err := DecapVXLANAll(mixed); err == nil {
+		t.Error("mixed VNIs should fail")
+	}
+}

@@ -1,0 +1,124 @@
+// Package pcap writes (and reads back) libpcap capture files so wire-mode
+// simulations can be inspected with standard tooling (tcpdump/wireshark).
+// Only the classic little-endian pcap format with Ethernet link type is
+// implemented — all this repository needs.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mflow/internal/sim"
+)
+
+const (
+	magicLE        = 0xa1b2c3d4
+	versionMajor   = 2
+	versionMinor   = 4
+	linkEthernet   = 1
+	defaultSnapLen = 65535
+)
+
+// ErrBadMagic reports a capture file that is not little-endian classic pcap.
+var ErrBadMagic = errors.New("pcap: bad magic")
+
+// Writer streams packets into a pcap capture.
+type Writer struct {
+	w       io.Writer
+	snap    uint32
+	started bool
+	// Packets counts records written.
+	Packets uint64
+}
+
+// NewWriter returns a Writer targeting w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, snap: defaultSnapLen}
+}
+
+func (w *Writer) header() error {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:], magicLE)
+	binary.LittleEndian.PutUint16(h[4:], versionMajor)
+	binary.LittleEndian.PutUint16(h[6:], versionMinor)
+	// thiszone=0, sigfigs=0
+	binary.LittleEndian.PutUint32(h[16:], w.snap)
+	binary.LittleEndian.PutUint32(h[20:], linkEthernet)
+	_, err := w.w.Write(h[:])
+	return err
+}
+
+// WritePacket appends one frame captured at the given simulated instant.
+func (w *Writer) WritePacket(at sim.Time, frame []byte) error {
+	if !w.started {
+		if err := w.header(); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	capLen := uint32(len(frame))
+	if capLen > w.snap {
+		capLen = w.snap
+	}
+	var h [16]byte
+	sec := uint32(int64(at) / int64(sim.Second))
+	usec := uint32(int64(at) % int64(sim.Second) / 1000)
+	binary.LittleEndian.PutUint32(h[0:], sec)
+	binary.LittleEndian.PutUint32(h[4:], usec)
+	binary.LittleEndian.PutUint32(h[8:], capLen)
+	binary.LittleEndian.PutUint32(h[12:], uint32(len(frame)))
+	if _, err := w.w.Write(h[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(frame[:capLen]); err != nil {
+		return err
+	}
+	w.Packets++
+	return nil
+}
+
+// Packet is one record read back from a capture.
+type Packet struct {
+	At      sim.Time
+	OrigLen int
+	Data    []byte
+}
+
+// Read parses an entire capture produced by Writer.
+func Read(r io.Reader) ([]Packet, error) {
+	var h [24]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != magicLE {
+		return nil, ErrBadMagic
+	}
+	if lt := binary.LittleEndian.Uint32(h[20:]); lt != linkEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	var out []Packet
+	for {
+		var ph [16]byte
+		if _, err := io.ReadFull(r, ph[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		sec := binary.LittleEndian.Uint32(ph[0:])
+		usec := binary.LittleEndian.Uint32(ph[4:])
+		capLen := binary.LittleEndian.Uint32(ph[8:])
+		origLen := binary.LittleEndian.Uint32(ph[12:])
+		data := make([]byte, capLen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, err
+		}
+		out = append(out, Packet{
+			At:      sim.Time(int64(sec)*int64(sim.Second) + int64(usec)*1000),
+			OrigLen: int(origLen),
+			Data:    data,
+		})
+	}
+}

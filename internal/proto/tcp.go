@@ -1,0 +1,100 @@
+// Package proto implements the stateful tail of the receive path: the TCP
+// receive machine (sequence tracking, the kernel-style out-of-order queue,
+// cumulative acknowledgements and a sender window), the UDP receive path,
+// and the socket delivery stage where a single application thread copies
+// payload from kernel buffers to user space — the "core 0" thread that the
+// paper identifies as MFLOW's residual bottleneck.
+package proto
+
+import (
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+// AckFn informs a sender that the receiver has consumed all segments below
+// endSeq (cumulative acknowledgement), opening its window.
+type AckFn func(endSeq uint64, at sim.Time)
+
+// TCPReceiver enforces TCP's in-order delivery contract: segments (or GRO
+// super-packets) whose sequence matches the expected next sequence are
+// delivered onward; anything else is parked in an out-of-order queue —
+// which costs CPU per packet, the overhead MFLOW's batch reassembly avoids
+// (paper §III-B). Coverage must be contiguous and non-overlapping, which the
+// simulated link guarantees (no loss or retransmission on the testbed LAN).
+type TCPReceiver struct {
+	// Expected is the next in-order segment sequence.
+	Expected uint64
+	// OOOQueueCost is charged per out-of-order insert and per drain on
+	// the core handling the packet (the kernel's ofo-queue overhead).
+	OOOQueueCost sim.Duration
+	// Deliver receives in-order skbs (typically the socket stage).
+	Deliver func(*skb.SKB)
+
+	// OOOArrivals counts skbs that arrived ahead of sequence; OOOPeak is
+	// the maximum depth the out-of-order queue reached.
+	OOOArrivals uint64
+	OOOPeak     int
+
+	ooo map[uint64]*skb.SKB
+}
+
+// Rx processes one skb arriving at the TCP layer on core (charged for any
+// out-of-order queue work).
+func (r *TCPReceiver) Rx(s *skb.SKB, core *sim.Core) {
+	if s.Seq != r.Expected {
+		// Ahead of sequence: park it.
+		r.OOOArrivals++
+		if r.ooo == nil {
+			r.ooo = make(map[uint64]*skb.SKB)
+		}
+		r.ooo[s.Seq] = s
+		if len(r.ooo) > r.OOOPeak {
+			r.OOOPeak = len(r.ooo)
+		}
+		if r.OOOQueueCost > 0 && core != nil {
+			core.Exec(r.OOOQueueCost, "tcp-ofo")
+		}
+		return
+	}
+	r.Expected = s.EndSeq()
+	r.Deliver(s)
+	// Drain any now-contiguous parked skbs.
+	for {
+		next, ok := r.ooo[r.Expected]
+		if !ok {
+			break
+		}
+		delete(r.ooo, r.Expected)
+		if r.OOOQueueCost > 0 && core != nil {
+			core.Exec(r.OOOQueueCost, "tcp-ofo")
+		}
+		r.Expected = next.EndSeq()
+		r.Deliver(next)
+	}
+}
+
+// Pending returns the current out-of-order queue depth.
+func (r *TCPReceiver) Pending() int { return len(r.ooo) }
+
+// UDPReceiver is the connectionless counterpart: it delivers every datagram
+// immediately (no ordering contract) but records how many arrived out of
+// order — the "poor user experience" the paper attributes to UDP reordering.
+type UDPReceiver struct {
+	// Deliver receives every skb.
+	Deliver func(*skb.SKB)
+	// OOOArrivals counts skbs whose sequence is below one already seen.
+	OOOArrivals uint64
+
+	maxEnd uint64
+}
+
+// Rx processes one skb arriving at the UDP layer.
+func (r *UDPReceiver) Rx(s *skb.SKB, _ *sim.Core) {
+	if s.Seq < r.maxEnd {
+		r.OOOArrivals++
+	}
+	if end := s.EndSeq(); end > r.maxEnd {
+		r.maxEnd = end
+	}
+	r.Deliver(s)
+}

@@ -1,0 +1,81 @@
+package sim
+
+import "testing"
+
+func BenchmarkSchedulerEvent(b *testing.B) {
+	s := NewScheduler(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			s.After(10, fn)
+		}
+	}
+	b.ResetTimer()
+	s.At(0, fn)
+	s.Run()
+}
+
+func BenchmarkSchedulerHeapChurn(b *testing.B) {
+	// Many pending events stress heap sift operations.
+	s := NewScheduler(1)
+	for i := 0; i < 4096; i++ {
+		s.At(Time(1_000_000_000+i), func() {})
+	}
+	count := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(Time(i%1000), func() { count++ })
+	}
+	s.RunUntil(999_999_999)
+}
+
+func BenchmarkCoreExec(b *testing.B) {
+	s := NewScheduler(1)
+	c := NewCore(0, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Exec(100, "bench")
+	}
+}
+
+func BenchmarkCoreExecJittered(b *testing.B) {
+	s := NewScheduler(1)
+	c := NewCore(0, s)
+	c.JitterAmp = 0.06
+	c.InterferenceProb = 0.001
+	c.InterferenceMean = 10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Exec(100, "bench")
+	}
+}
+
+func BenchmarkWorkerPipeline(b *testing.B) {
+	s := NewScheduler(1)
+	c := NewCore(0, s)
+	w := NewWorker("bench", c, s, func(int) Duration { return 50 }, func(int, Time) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Enqueue(i)
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkRandNorm(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Core models one CPU core. A core executes at most one piece of work at a
+// time; work submitted while the core is busy starts when the core becomes
+// free (FIFO, which matches how a softirq raised on a busy core waits for the
+// currently running handler). Execution time can be perturbed by a
+// multiplicative jitter and by occasional "interference" spikes that stand in
+// for unrelated kernel work preempting the core — the effect the MFLOW paper
+// identifies as the source of out-of-order completion across splitting cores.
+type Core struct {
+	// ID is the core number (purely informational; core 0 conventionally
+	// runs the application/delivery thread as in the paper's figures).
+	ID int
+
+	// Speed scales all execution costs; 1.0 is nominal. A core with
+	// Speed 0.9 takes 1/0.9 times as long for the same work.
+	Speed float64
+
+	// JitterAmp is the stddev of the log-normal multiplicative noise
+	// applied to each execution (0 disables jitter).
+	JitterAmp float64
+
+	// InterferenceProb is the per-execution probability that the core is
+	// preempted by unrelated work, adding an exponentially distributed
+	// delay with mean InterferenceMean.
+	InterferenceProb float64
+	InterferenceMean Duration
+
+	sched     *Scheduler
+	busyUntil Time
+	busyByTag map[string]Duration
+	busyTotal Duration
+}
+
+// NewCore returns a core with nominal speed attached to sched.
+func NewCore(id int, sched *Scheduler) *Core {
+	return &Core{
+		ID:        id,
+		Speed:     1.0,
+		sched:     sched,
+		busyByTag: make(map[string]Duration),
+	}
+}
+
+// NewCores returns n cores with IDs 0..n-1 attached to sched.
+func NewCores(n int, sched *Scheduler) []*Core {
+	cores := make([]*Core, n)
+	for i := range cores {
+		cores[i] = NewCore(i, sched)
+	}
+	return cores
+}
+
+// FreeAt returns the earliest instant at which the core can begin new work.
+func (c *Core) FreeAt() Time {
+	if c.busyUntil < c.sched.Now() {
+		return c.sched.Now()
+	}
+	return c.busyUntil
+}
+
+// adjust applies speed, jitter and interference to a nominal cost.
+func (c *Core) adjust(d Duration) Duration {
+	if d <= 0 {
+		return 0
+	}
+	f := 1.0 / c.Speed
+	if c.JitterAmp > 0 {
+		f *= math.Exp(c.JitterAmp * c.sched.Rand.NormFloat64())
+	}
+	out := Duration(float64(d) * f)
+	if c.InterferenceProb > 0 && c.sched.Rand.Float64() < c.InterferenceProb {
+		out += Duration(float64(c.InterferenceMean) * c.sched.Rand.ExpFloat64())
+	}
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// Exec reserves the core for a piece of work costing d (nominal) and returns
+// the work's start and completion instants. The reservation begins when the
+// core is next free, never before the current instant. The adjusted cost is
+// charged to the accounting bucket tag.
+func (c *Core) Exec(d Duration, tag string) (start, end Time) {
+	start = c.FreeAt()
+	adj := c.adjust(d)
+	end = start.Add(adj)
+	c.busyUntil = end
+	c.busyByTag[tag] += adj
+	c.busyTotal += adj
+	return start, end
+}
+
+// Run executes work costing d on the core and schedules fn at the completion
+// instant. fn receives that instant.
+func (c *Core) Run(d Duration, tag string, fn func(end Time)) {
+	_, end := c.Exec(d, tag)
+	c.sched.At(end, func() { fn(end) })
+}
+
+// BusyTotal returns the cumulative busy time charged to the core.
+func (c *Core) BusyTotal() Duration { return c.busyTotal }
+
+// BusyByTag returns a copy of the per-tag busy-time accounting.
+func (c *Core) BusyByTag() map[string]Duration {
+	out := make(map[string]Duration, len(c.busyByTag))
+	for k, v := range c.busyByTag {
+		out[k] = v
+	}
+	return out
+}
+
+// Tags returns the accounting tags seen so far, sorted.
+func (c *Core) Tags() []string {
+	tags := make([]string, 0, len(c.busyByTag))
+	for k := range c.busyByTag {
+		tags = append(tags, k)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// Utilization returns the fraction of the window [since, until] the core was
+// busy, based on cumulative busy time captured by the caller: pass the value
+// of BusyTotal() at the window start as busyAtSince.
+func (c *Core) Utilization(busyAtSince Duration, since, until Time) float64 {
+	if until <= since {
+		return 0
+	}
+	return float64(c.busyTotal-busyAtSince) / float64(until.Sub(since))
+}
+
+// ResetAccounting zeroes the busy-time counters (used between warmup and
+// measurement phases of an experiment).
+func (c *Core) ResetAccounting() {
+	c.busyTotal = 0
+	for k := range c.busyByTag {
+		delete(c.busyByTag, k)
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import "container/heap"
+
+// event is a single pending callback in the simulation.
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among events scheduled for the same instant
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the discrete-event simulation driver. It owns the virtual
+// clock, the pending-event heap and the run's random source. A Scheduler is
+// single-threaded by design: one simulation run is one goroutine, which keeps
+// the model deterministic and race-free; parallelism across experiments is
+// achieved by running independent Schedulers.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Rand is the run's deterministic random source.
+	Rand *Rand
+}
+
+// NewScheduler returns a scheduler with its clock at zero and a random
+// source derived from seed.
+func NewScheduler(seed uint64) *Scheduler {
+	return &Scheduler{Rand: NewRand(seed)}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time t. Events scheduled for a time in
+// the past run at the current instant, after already-pending events for that
+// instant (time never goes backwards). Events at the same instant run in
+// scheduling order.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d Duration, fn func()) {
+	s.At(s.now.Add(d), fn)
+}
+
+// Pending reports the number of events waiting to run.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Stop makes the current Run/RunUntil call return after the event being
+// processed completes. Further events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run processes events until none remain or Stop is called. It returns the
+// final simulated time.
+func (s *Scheduler) Run() Time {
+	return s.RunUntil(Time(int64(^uint64(0) >> 1)))
+}
+
+// RunUntil processes events with timestamps <= until, advancing the clock as
+// it goes. When it returns, the clock reads min(until, time of last event) or
+// `until` if events beyond the horizon remain. Stop aborts early.
+func (s *Scheduler) RunUntil(until Time) Time {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		if s.events[0].at > until {
+			s.now = until
+			return s.now
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if !s.stopped && s.now < until && len(s.events) == 0 {
+		// Nothing left to do; park the clock where the last event ran.
+		return s.now
+	}
+	return s.now
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		s.At(at, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d ran at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerPastEventsRunNow(t *testing.T) {
+	s := NewScheduler(1)
+	var ranAt Time = -1
+	s.At(100, func() {
+		// Scheduling into the past must clamp to "now".
+		s.At(10, func() { ranAt = s.Now() })
+	})
+	s.Run()
+	if ranAt != 100 {
+		t.Fatalf("past event ran at %v, want clamped to 100", ranAt)
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i*100), func() { count++ })
+	}
+	end := s.RunUntil(550)
+	if count != 5 {
+		t.Errorf("ran %d events, want 5", count)
+	}
+	if end != 550 {
+		t.Errorf("clock at %v, want 550", end)
+	}
+	s.Run()
+	if count != 10 {
+		t.Errorf("after full run, ran %d events, want 10", count)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Errorf("%d events pending, want 7", s.Pending())
+	}
+}
+
+func TestSchedulerAfter(t *testing.T) {
+	s := NewScheduler(1)
+	var at Time
+	s.At(100, func() {
+		s.After(25, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 125 {
+		t.Errorf("After event ran at %v, want 125", at)
+	}
+}
+
+// Property: for any set of timestamps, execution order is a non-decreasing
+// sequence of times.
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		s := NewScheduler(7)
+		var seen []Time
+		for _, st := range stamps {
+			s.At(Time(st), func() { seen = append(seen, s.Now()) })
+		}
+		s.Run()
+		if len(seen) != len(stamps) {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{250, "250ns"},
+		{2500, "2.500µs"},
+		{2500000, "2.500ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1000)
+	if t0.Add(500) != 1500 {
+		t.Error("Add failed")
+	}
+	if Time(1500).Sub(t0) != 500 {
+		t.Error("Sub failed")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds failed")
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+// DefaultBudget is the number of items a worker processes per poll round
+// before yielding, mirroring the kernel's NAPI budget of 64.
+const DefaultBudget = 64
+
+// Worker is a softirq-style batch consumer: a FIFO queue of items bound to a
+// core. Enqueueing onto an idle worker schedules a poll (after WakeDelay,
+// standing in for IPI/softirq-raise latency); each poll round drains up to
+// Budget items, charges their processing cost to the core, and hands each
+// item downstream at its completion instant. If items remain after a round
+// the worker immediately reschedules itself, which is exactly how NAPI
+// re-arms: the net effect is that multiple workers sharing one core
+// interleave in batches, the paper's "stages multiplexed in a pipelined
+// manner on the same core".
+type Worker[T any] struct {
+	// Name identifies the worker in accounting tags and diagnostics.
+	Name string
+	// Core is the CPU the worker's processing is charged to.
+	Core *Core
+	// Sched drives the worker's events.
+	Sched *Scheduler
+	// Budget is the max items per poll round (default DefaultBudget).
+	Budget int
+	// Cap bounds the queue; beyond it items are dropped (0 = unbounded).
+	// This models fixed-size ring/backlog queues (netdev_max_backlog).
+	Cap int
+	// PollOverhead is a fixed cost charged once per poll round.
+	PollOverhead Duration
+	// WakeDelay is the latency between an enqueue onto an idle worker and
+	// the start of its poll round (softirq raise / IPI propagation).
+	WakeDelay Duration
+	// IdleGrace keeps the worker armed for this long after its queue
+	// drains before declaring it idle — NAPI/interrupt-moderation
+	// behaviour that avoids paying WakeDelay (and the NIC an interrupt)
+	// for every micro-burst. Zero disarms immediately.
+	IdleGrace Duration
+	// Cost returns the nominal processing cost of one item.
+	Cost func(T) Duration
+	// Then receives each item and its completion instant. It typically
+	// enqueues the item onto the next stage. Required unless ProcessBatch
+	// is set.
+	Then func(T, Time)
+	// ProcessBatch, if non-nil, replaces the per-item path: it receives
+	// the drained batch and is responsible for charging the core (via
+	// Core.Exec) and delivering results downstream. GRO uses this to
+	// merge a batch before charging downstream stages.
+	ProcessBatch func(batch []T)
+
+	queue     []T
+	scheduled bool
+
+	// Stats.
+	Enqueued   uint64
+	Processed  uint64
+	Dropped    uint64
+	MaxDepth   int
+	PollRounds uint64
+}
+
+// NewWorker returns a worker bound to core with a per-item cost function and
+// downstream delivery fn.
+func NewWorker[T any](name string, core *Core, sched *Scheduler, cost func(T) Duration, then func(T, Time)) *Worker[T] {
+	return &Worker[T]{
+		Name:  name,
+		Core:  core,
+		Sched: sched,
+		Cost:  cost,
+		Then:  then,
+	}
+}
+
+// Len returns the current queue depth.
+func (w *Worker[T]) Len() int { return len(w.queue) }
+
+// Idle reports whether the worker has no queued items and no pending poll —
+// i.e. the next enqueue will raise it from idle (costing an IRQ in stages
+// that model interrupt-driven wakeup).
+func (w *Worker[T]) Idle() bool { return len(w.queue) == 0 && !w.scheduled }
+
+// Enqueue appends an item to the worker's queue, scheduling a poll round if
+// the worker is idle. It reports whether the item was accepted (false means
+// the bounded queue was full and the item was dropped).
+func (w *Worker[T]) Enqueue(item T) bool {
+	if w.Cap > 0 && len(w.queue) >= w.Cap {
+		w.Dropped++
+		return false
+	}
+	w.queue = append(w.queue, item)
+	w.Enqueued++
+	if len(w.queue) > w.MaxDepth {
+		w.MaxDepth = len(w.queue)
+	}
+	w.kick()
+	return true
+}
+
+// kick schedules a poll round if one is not already pending.
+func (w *Worker[T]) kick() {
+	if w.scheduled || len(w.queue) == 0 {
+		return
+	}
+	w.scheduled = true
+	w.Sched.After(w.WakeDelay, w.poll)
+}
+
+func (w *Worker[T]) poll() {
+	if f := w.Core.FreeAt(); f > w.Sched.Now() {
+		// The core is still running earlier work (another softirq or an
+		// earlier poll round): run when it frees up. The batch is then
+		// snapshotted at execution time, so everything that accumulated
+		// meanwhile is drained together — NAPI's natural batching under
+		// load.
+		w.Sched.At(f, w.poll)
+		return
+	}
+	w.scheduled = false
+	if len(w.queue) == 0 {
+		return
+	}
+	w.PollRounds++
+	budget := w.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	n := len(w.queue)
+	if n > budget {
+		n = budget
+	}
+	batch := w.queue[:n:n]
+	w.queue = append(w.queue[:0:0], w.queue[n:]...)
+
+	if w.PollOverhead > 0 {
+		w.Core.Exec(w.PollOverhead, w.Name+"/poll")
+	}
+	if w.ProcessBatch != nil {
+		w.ProcessBatch(batch)
+	} else {
+		for _, item := range batch {
+			item := item
+			_, end := w.Core.Exec(w.Cost(item), w.Name)
+			w.Processed++
+			if w.Then != nil {
+				w.Sched.At(end, func() { w.Then(item, end) })
+			}
+		}
+	}
+	switch {
+	case len(w.queue) > 0:
+		// NAPI re-arm: keep polling once the work charged so far is
+		// done. The +1 yields to any sibling worker already waiting on
+		// this core at the exact free instant, giving the round-robin
+		// fairness softirqs have (without it a hot stage starves its
+		// same-core neighbours).
+		w.scheduled = true
+		w.Sched.At(w.Core.FreeAt().Add(1), w.poll)
+	case w.IdleGrace > 0:
+		// Stay armed briefly: arrivals within the grace window are
+		// polled without a fresh wakeup (interrupt moderation).
+		w.scheduled = true
+		w.Sched.At(w.Core.FreeAt().Add(w.IdleGrace), w.poll)
+	}
+}

@@ -1,0 +1,138 @@
+// Package skb models the kernel's socket buffer — the unit of work that
+// travels through every stage of the simulated network stack, mirroring
+// struct sk_buff. An SKB describes one on-wire segment (or, after GRO,
+// a run of merged consecutive segments). MFLOW's splitter stamps each SKB
+// with a micro-flow identifier, exactly as the kernel patch stores the ID
+// in the skb data structure (paper §III-B, footnote 5).
+package skb
+
+import (
+	"fmt"
+
+	"mflow/internal/sim"
+)
+
+// Proto is the transport protocol of the flow an SKB belongs to.
+type Proto int
+
+// Transport protocols used in the experiments.
+const (
+	TCP Proto = iota
+	UDP
+)
+
+// String names the protocol.
+func (p Proto) String() string {
+	if p == TCP {
+		return "TCP"
+	}
+	return "UDP"
+}
+
+// SKB is one unit of packet-processing work. Before GRO it represents a
+// single MTU-sized wire segment; after GRO it may represent several merged
+// consecutive segments of the same flow (Segs > 1).
+type SKB struct {
+	// FlowID identifies the transport flow (5-tuple surrogate).
+	FlowID uint64
+	// Proto is the flow's transport protocol.
+	Proto Proto
+
+	// Seq is this segment's position in the flow's NIC arrival order,
+	// counted in segments. After GRO the SKB covers [Seq, Seq+Segs).
+	Seq uint64
+	// Segs is the number of wire segments this SKB covers (>= 1).
+	Segs int
+
+	// WireLen is the total on-the-wire bytes covered, including all
+	// headers (outer encapsulation too while Encap is true).
+	WireLen int
+	// PayloadLen is the application payload bytes covered.
+	PayloadLen int
+	// Encap reports whether the segment still carries the outer
+	// VxLAN/UDP/IP/Ethernet headers (cleared by decapsulation).
+	Encap bool
+
+	// MsgID is the application message the segment belongs to, and
+	// MsgEnd marks the final segment of that message (used to clock
+	// request/response workloads and per-message latency).
+	MsgID  uint64
+	MsgEnd bool
+
+	// MicroFlow is the micro-flow identifier assigned by MFLOW's
+	// splitter: Seq/batchSize + 1. Zero means "not split". Branch is the
+	// splitting-queue index the micro-flow was routed to (meaningful
+	// when MicroFlow != 0).
+	MicroFlow uint64
+	Branch    int
+
+	// SentAt is when the sender created the segment; ArrivedAt is when
+	// the NIC received it. Latency is measured delivery-minus-SentAt.
+	SentAt    sim.Time
+	ArrivedAt sim.Time
+
+	// Data optionally holds the real wire bytes (nil in synthetic runs;
+	// populated in wire-mode runs and correctness tests).
+	Data []byte
+}
+
+// String summarizes the SKB for diagnostics.
+func (s *SKB) String() string {
+	return fmt.Sprintf("skb{flow=%d seq=%d segs=%d bytes=%d mf=%d}",
+		s.FlowID, s.Seq, s.Segs, s.WireLen, s.MicroFlow)
+}
+
+// EndSeq returns the first segment sequence after this SKB's coverage.
+func (s *SKB) EndSeq() uint64 { return s.Seq + uint64(s.Segs) }
+
+// CanMerge reports whether other directly continues s within the same flow
+// and message framing, i.e. GRO may coalesce them.
+func (s *SKB) CanMerge(other *SKB) bool {
+	return s.FlowID == other.FlowID &&
+		s.Proto == TCP && other.Proto == TCP &&
+		s.Encap == other.Encap &&
+		!s.MsgEnd &&
+		other.Seq == s.EndSeq()
+}
+
+// Merge absorbs other (which must satisfy CanMerge) into s, extending its
+// coverage the way GRO grows a super-packet.
+func (s *SKB) Merge(other *SKB) {
+	s.Segs += other.Segs
+	s.WireLen += other.WireLen
+	s.PayloadLen += other.PayloadLen
+	s.MsgID = other.MsgID
+	s.MsgEnd = other.MsgEnd
+	if other.Data != nil {
+		s.Data = append(s.Data, other.Data...)
+	}
+}
+
+// Pool recycles SKBs to keep large simulations allocation-light. The
+// simulator is single-goroutine per run, so a plain freelist suffices.
+type Pool struct {
+	free []*SKB
+	// Allocs counts pool misses (fresh allocations).
+	Allocs uint64
+}
+
+// Get returns a zeroed SKB.
+func (p *Pool) Get() *SKB {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		*s = SKB{}
+		return s
+	}
+	p.Allocs++
+	return &SKB{}
+}
+
+// Put returns an SKB to the pool. The caller must not retain it.
+func (p *Pool) Put(s *SKB) {
+	if s == nil {
+		return
+	}
+	s.Data = nil
+	p.free = append(p.free, s)
+}

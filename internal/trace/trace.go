@@ -1,0 +1,125 @@
+// Package trace records per-packet journeys through the simulated receive
+// path: which stage handled each segment on which core at what simulated
+// time. Traces are the debugging companion to the aggregate metrics — they
+// show a micro-flow fanning out across splitting cores and re-converging at
+// the merge point, or a FALCON pipeline hopping cores per device.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mflow/internal/sim"
+)
+
+// Event is one observation of a packet at a pipeline point.
+type Event struct {
+	At     sim.Time
+	FlowID uint64
+	Seq    uint64
+	Segs   int
+	// Stage names the pipeline point ("nic", "alloc", "vxlan", "merge",
+	// "socket", ...); Core is the CPU it ran on (-1 if not applicable).
+	Stage string
+	Core  int
+}
+
+// Tracer collects events up to a cap (tracing every packet of a long run
+// would dwarf the simulation itself).
+type Tracer struct {
+	// MaxEvents bounds memory (default 65536); OnlyFlow, when non-zero,
+	// restricts tracing to one flow; OnlySeqBelow, when non-zero,
+	// restricts to the first packets of each flow.
+	MaxEvents    int
+	OnlyFlow     uint64
+	OnlySeqBelow uint64
+
+	events  []Event
+	Skipped uint64
+}
+
+// New returns a tracer with the default cap.
+func New() *Tracer { return &Tracer{MaxEvents: 65536} }
+
+// Record appends an event, subject to the tracer's filters and cap.
+func (t *Tracer) Record(at sim.Time, flowID, seq uint64, segs int, stage string, core int) {
+	if t == nil {
+		return
+	}
+	if t.OnlyFlow != 0 && flowID != t.OnlyFlow {
+		return
+	}
+	if t.OnlySeqBelow != 0 && seq >= t.OnlySeqBelow {
+		return
+	}
+	max := t.MaxEvents
+	if max <= 0 {
+		max = 65536
+	}
+	if len(t.events) >= max {
+		t.Skipped++
+		return
+	}
+	t.events = append(t.events, Event{At: at, FlowID: flowID, Seq: seq, Segs: segs, Stage: stage, Core: core})
+}
+
+// Events returns everything recorded, in recording order.
+func (t *Tracer) Events() []Event { return t.events }
+
+// Journey returns the events touching segment seq of a flow (an event
+// covering [Seq, Seq+Segs) matches), in time order.
+func (t *Tracer) Journey(flowID, seq uint64) []Event {
+	var out []Event
+	for _, e := range t.events {
+		if e.FlowID == flowID && seq >= e.Seq && seq < e.Seq+uint64(e.Segs) {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Stages returns the distinct stage names seen, sorted.
+func (t *Tracer) Stages() []string {
+	seen := map[string]bool{}
+	for _, e := range t.events {
+		seen[e.Stage] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenderJourney formats one segment's journey as a timeline.
+func (t *Tracer) RenderJourney(flowID, seq uint64) string {
+	events := t.Journey(flowID, seq)
+	if len(events) == 0 {
+		return fmt.Sprintf("flow %d seq %d: no events\n", flowID, seq)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow %d seq %d:\n", flowID, seq)
+	t0 := events[0].At
+	for _, e := range events {
+		fmt.Fprintf(&b, "  +%-12v %-10s core %d\n", e.At.Sub(t0), e.Stage, e.Core)
+	}
+	return b.String()
+}
+
+// CoreOccupancy counts events per core per stage — a quick view of where
+// packets were handled.
+func (t *Tracer) CoreOccupancy() map[int]map[string]int {
+	out := map[int]map[string]int{}
+	for _, e := range t.events {
+		m := out[e.Core]
+		if m == nil {
+			m = map[string]int{}
+			out[e.Core] = m
+		}
+		m[e.Stage]++
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordAndJourney(t *testing.T) {
+	tr := New()
+	tr.Record(100, 1, 0, 1, "nic", -1)
+	tr.Record(200, 1, 0, 1, "alloc", 2)
+	tr.Record(150, 1, 1, 1, "nic", -1)
+	tr.Record(300, 1, 0, 1, "socket", 0)
+
+	j := tr.Journey(1, 0)
+	if len(j) != 3 {
+		t.Fatalf("journey has %d events, want 3", len(j))
+	}
+	for i := 1; i < len(j); i++ {
+		if j[i].At < j[i-1].At {
+			t.Fatal("journey not time-ordered")
+		}
+	}
+	if j[0].Stage != "nic" || j[2].Stage != "socket" {
+		t.Errorf("journey stages wrong: %+v", j)
+	}
+}
+
+func TestTracerMergedCoverage(t *testing.T) {
+	tr := New()
+	tr.Record(100, 1, 0, 4, "gro", 1) // covers seqs 0-3
+	if len(tr.Journey(1, 3)) != 1 {
+		t.Error("merged event should match covered seq")
+	}
+	if len(tr.Journey(1, 4)) != 0 {
+		t.Error("seq beyond coverage should not match")
+	}
+}
+
+func TestTracerFilters(t *testing.T) {
+	tr := New()
+	tr.OnlyFlow = 7
+	tr.OnlySeqBelow = 10
+	tr.Record(1, 7, 5, 1, "a", 0)
+	tr.Record(2, 8, 5, 1, "a", 0)  // wrong flow
+	tr.Record(3, 7, 50, 1, "a", 0) // seq too high
+	if len(tr.Events()) != 1 {
+		t.Errorf("filters failed: %d events", len(tr.Events()))
+	}
+}
+
+func TestTracerCap(t *testing.T) {
+	tr := &Tracer{MaxEvents: 3}
+	for i := 0; i < 10; i++ {
+		tr.Record(1, 1, uint64(i), 1, "x", 0)
+	}
+	if len(tr.Events()) != 3 || tr.Skipped != 7 {
+		t.Errorf("cap failed: %d events, %d skipped", len(tr.Events()), tr.Skipped)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(1, 1, 1, 1, "x", 0) // must not panic
+}
+
+func TestRenderAndOccupancy(t *testing.T) {
+	tr := New()
+	tr.Record(100, 1, 0, 1, "nic", -1)
+	tr.Record(250, 1, 0, 1, "vxlan", 3)
+	out := tr.RenderJourney(1, 0)
+	if !strings.Contains(out, "vxlan") || !strings.Contains(out, "+150ns") {
+		t.Errorf("render wrong:\n%s", out)
+	}
+	if !strings.Contains(tr.RenderJourney(9, 9), "no events") {
+		t.Error("missing-journey render")
+	}
+	occ := tr.CoreOccupancy()
+	if occ[3]["vxlan"] != 1 {
+		t.Errorf("occupancy wrong: %v", occ)
+	}
+	stages := tr.Stages()
+	if len(stages) != 2 || stages[0] != "nic" {
+		t.Errorf("stages: %v", stages)
+	}
+}

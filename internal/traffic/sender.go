@@ -1,0 +1,49 @@
+// Package traffic generates the workloads of the paper's evaluation: the
+// sockperf-like single- and multi-flow TCP/UDP message streams of the
+// micro-benchmarks, and the application-level web-serving and data-caching
+// workloads. Senders model the client machine's CPU explicitly because
+// several of the paper's results hinge on client-side bottlenecks (UDP
+// senders saturating their cores; 16-byte TCP messages limited by the
+// client).
+package traffic
+
+import (
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+// MSS is the TCP maximum segment payload with timestamps, matching a
+// 1500-byte MTU.
+const MSS = 1448
+
+// UDPFragPayload is the payload carried per IP fragment of a large UDP
+// datagram on a 1500-byte MTU.
+const UDPFragPayload = 1472
+
+// Ingress is where senders push wire segments — the receiving host's NIC.
+type Ingress interface {
+	Deliver(*skb.SKB) bool
+}
+
+// ClientCost models the sending machine's per-message, per-segment and
+// per-byte CPU costs (syscall, stack traversal, copies).
+type ClientCost struct {
+	PerMsg  sim.Duration
+	PerSeg  sim.Duration
+	PerByte float64
+}
+
+// SeqAlloc hands out a flow's global segment sequence numbers. Multiple
+// senders stressing the same flow (the paper's three UDP clients) share one
+// allocator so receive-side ordering is well defined.
+type SeqAlloc struct{ next uint64 }
+
+// Next returns the next n sequence numbers' starting value.
+func (a *SeqAlloc) Next(n int) uint64 {
+	s := a.next
+	a.next += uint64(n)
+	return s
+}
+
+// Sent returns how many segments have been allocated.
+func (a *SeqAlloc) Sent() uint64 { return a.next }

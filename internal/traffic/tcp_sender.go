@@ -1,0 +1,117 @@
+package traffic
+
+import (
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+// TCPSender streams fixed-size messages over one TCP flow, window-limited
+// like a real sender: at most Window segments may be outstanding
+// (unacknowledged), and cumulative ACKs from the receiver's socket open the
+// window. Throughput therefore emerges from whichever stage of the receive
+// pipeline is slowest — including the receiver's user-space copy thread,
+// because acknowledgements are clocked by consumption.
+type TCPSender struct {
+	FlowID  uint64
+	MsgSize int
+	// Window is the maximum outstanding segments (the paper observes
+	// ~2000 MTU packets outstanding at 30 Gbps; the default used by the
+	// experiments is 512, plenty to cover the pipeline).
+	Window int
+	Core   *sim.Core
+	Sched  *sim.Scheduler
+	Net    Ingress
+	// NetDelay is the one-way wire latency.
+	NetDelay sim.Duration
+	Cost     ClientCost
+	Seq      *SeqAlloc
+
+	// Stats.
+	MsgsSent  uint64
+	SegsSent  uint64
+	BytesSent uint64
+
+	acked   uint64
+	inMsg   int // bytes of the current message already segmented
+	msgID   uint64
+	stopped bool
+	started bool
+}
+
+// Start begins streaming. Safe to call once.
+func (t *TCPSender) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	if t.Seq == nil {
+		t.Seq = &SeqAlloc{}
+	}
+	t.pump()
+}
+
+// Stop ceases new transmissions (in-flight segments still arrive).
+func (t *TCPSender) Stop() { t.stopped = true }
+
+// Ack is the receiver's cumulative acknowledgement callback; wire it via
+// the socket with the return-path delay applied by the caller.
+func (t *TCPSender) Ack(endSeq uint64, _ sim.Time) {
+	if endSeq > t.acked {
+		t.acked = endSeq
+	}
+	t.pump()
+}
+
+// Outstanding returns the segments in flight.
+func (t *TCPSender) Outstanding() int { return int(t.Seq.Sent() - t.acked) }
+
+func (t *TCPSender) pump() {
+	if t.stopped || !t.started {
+		return
+	}
+	win := t.Window
+	if win <= 0 {
+		win = 512
+	}
+	for t.Outstanding() < win {
+		t.sendSegment()
+	}
+}
+
+func (t *TCPSender) sendSegment() {
+	payload := t.MsgSize - t.inMsg
+	if payload > MSS {
+		payload = MSS
+	}
+	first := t.inMsg == 0
+	t.inMsg += payload
+	last := t.inMsg >= t.MsgSize
+	msgID := t.msgID
+	if last {
+		t.inMsg = 0
+		t.msgID++
+		t.MsgsSent++
+	}
+
+	seq := t.Seq.Next(1)
+	cost := t.Cost.PerSeg + sim.Duration(t.Cost.PerByte*float64(payload))
+	if first {
+		cost += t.Cost.PerMsg
+	}
+	t.SegsSent++
+	t.BytesSent += uint64(payload)
+	t.Core.Run(cost, "tcp-send", func(end sim.Time) {
+		s := &skb.SKB{
+			FlowID:     t.FlowID,
+			Proto:      skb.TCP,
+			Seq:        seq,
+			Segs:       1,
+			WireLen:    payload + 52, // inner eth+ip+tcp headers
+			PayloadLen: payload,
+			MsgID:      msgID,
+			MsgEnd:     last,
+			SentAt:     end,
+		}
+		t.Sched.At(end.Add(t.NetDelay), func() { t.Net.Deliver(s) })
+	})
+}

@@ -1,0 +1,94 @@
+package traffic
+
+import (
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+// UDPSender blasts fixed-size datagrams at the receiver as fast as its
+// client core allows — UDP has no acknowledgement clock, so the sender is
+// purely CPU-paced (and, as the paper observes, sockperf UDP clients
+// overload their own cores; three clients are used to saturate one
+// receive-side flow).
+type UDPSender struct {
+	FlowID   uint64
+	MsgSize  int
+	Core     *sim.Core
+	Sched    *sim.Scheduler
+	Net      Ingress
+	NetDelay sim.Duration
+	Cost     ClientCost
+	// Seq is shared across the clients stressing one flow.
+	Seq *SeqAlloc
+	// MsgBase disambiguates message IDs across senders of one flow.
+	MsgBase uint64
+
+	MsgsSent  uint64
+	SegsSent  uint64
+	BytesSent uint64
+
+	stopped bool
+	started bool
+}
+
+// Start begins the send loop. Safe to call once.
+func (u *UDPSender) Start() {
+	if u.started {
+		return
+	}
+	u.started = true
+	if u.Seq == nil {
+		u.Seq = &SeqAlloc{}
+	}
+	u.sendMsg()
+}
+
+// Stop ceases transmission.
+func (u *UDPSender) Stop() { u.stopped = true }
+
+func (u *UDPSender) sendMsg() {
+	if u.stopped {
+		return
+	}
+	// Fragment the datagram as IP would.
+	frags := (u.MsgSize + UDPFragPayload - 1) / UDPFragPayload
+	if frags < 1 {
+		frags = 1
+	}
+	msgID := u.MsgBase + u.MsgsSent
+	u.MsgsSent++
+	remaining := u.MsgSize
+	seq := u.Seq.Next(frags)
+	for i := 0; i < frags; i++ {
+		payload := remaining
+		if payload > UDPFragPayload {
+			payload = UDPFragPayload
+		}
+		remaining -= payload
+		cost := u.Cost.PerSeg + sim.Duration(u.Cost.PerByte*float64(payload))
+		if i == 0 {
+			cost += u.Cost.PerMsg
+		}
+		last := i == frags-1
+		segSeq := seq + uint64(i)
+		u.SegsSent++
+		u.BytesSent += uint64(payload)
+		u.Core.Run(cost, "udp-send", func(end sim.Time) {
+			s := &skb.SKB{
+				FlowID:     u.FlowID,
+				Proto:      skb.UDP,
+				Seq:        segSeq,
+				Segs:       1,
+				WireLen:    payload + 28 + 14, // ip+udp+eth headers
+				PayloadLen: payload,
+				MsgID:      msgID,
+				MsgEnd:     last,
+				SentAt:     end,
+			}
+			u.Sched.At(end.Add(u.NetDelay), func() { u.Net.Deliver(s) })
+		})
+	}
+	// Next datagram as soon as the client core frees up: the sender
+	// saturates its CPU, the paper's client-side bottleneck.
+	u.Sched.At(u.Core.FreeAt(), u.sendMsg)
+}

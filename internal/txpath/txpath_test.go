@@ -1,0 +1,127 @@
+package txpath
+
+import (
+	"testing"
+
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+type sink struct {
+	got   []*skb.SKB
+	times []sim.Time
+	sched *sim.Scheduler
+}
+
+func (s *sink) Deliver(sk *skb.SKB) bool {
+	s.got = append(s.got, sk)
+	s.times = append(s.times, s.sched.Now())
+	return true
+}
+
+func newPipe(t *testing.T, overlay bool) (*Pipeline, *sink, *sim.Scheduler) {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	app, kern := sim.NewCore(100, s), sim.NewCore(101, s)
+	snk := &sink{sched: s}
+	return New(app, kern, s, DefaultCosts(), overlay, snk), snk, s
+}
+
+func seg(msg uint64, seq uint64, last bool) *skb.SKB {
+	return &skb.SKB{
+		FlowID: 1, Proto: skb.TCP, Seq: seq, Segs: 1,
+		WireLen: 1500, PayloadLen: 1448, MsgID: msg, MsgEnd: last,
+	}
+}
+
+func TestPipelineDeliversInOrder(t *testing.T) {
+	p, snk, s := newPipe(t, true)
+	s.At(0, func() {
+		for i := uint64(0); i < 90; i++ {
+			p.Deliver(seg(i/45, i, (i+1)%45 == 0))
+		}
+	})
+	s.Run()
+	if len(snk.got) != 90 {
+		t.Fatalf("delivered %d, want 90", len(snk.got))
+	}
+	for i, sk := range snk.got {
+		if sk.Seq != uint64(i) {
+			t.Fatalf("out of order at %d: seq %d", i, sk.Seq)
+		}
+	}
+	if p.SentSegments != 90 {
+		t.Errorf("SentSegments=%d", p.SentSegments)
+	}
+}
+
+func TestWireSerializationSpacing(t *testing.T) {
+	p, snk, s := newPipe(t, false)
+	s.At(0, func() {
+		for i := uint64(0); i < 45; i++ {
+			p.Deliver(seg(0, i, i == 44))
+		}
+	})
+	s.Run()
+	// 1500B at 100 Gbps = 120 ns per frame on the wire.
+	for i := 1; i < len(snk.times); i++ {
+		gap := snk.times[i].Sub(snk.times[i-1])
+		if gap < 119 { // 1500B/100Gbps = 120ns (floating-point floor 119)
+			t.Fatalf("frames %d/%d spaced %v — faster than line rate", i-1, i, gap)
+		}
+	}
+}
+
+func TestGSOFusesTCPSegments(t *testing.T) {
+	p, _, s := newPipe(t, true)
+	app := p.App
+	s.At(0, func() {
+		for i := uint64(0); i < 45; i++ {
+			p.Deliver(seg(0, i, i == 44))
+		}
+	})
+	s.Run()
+	// One full socket charge plus 44 continuations: app busy must be far
+	// below 45 full socket charges.
+	fullCharge := float64(DefaultCosts().Socket.Of(seg(0, 0, false)))
+	if got := float64(app.BusyTotal()); got > 45*fullCharge/2 {
+		t.Errorf("GSO did not amortize socket cost: busy %v", app.BusyTotal())
+	}
+}
+
+func TestQdiscDropsWhenOverloaded(t *testing.T) {
+	p, _, s := newPipe(t, true)
+	// A crawling kernel core cannot drain the qdisc while UDP datagrams
+	// (no GSO fuse) keep arriving: the bounded queue must tail-drop.
+	p.Kernel.Speed = 0.01
+	s.At(0, func() {
+		for i := uint64(0); i < 3000; i++ {
+			sk := seg(i, i, true)
+			sk.Proto = skb.UDP
+			p.Deliver(sk)
+		}
+	})
+	s.RunUntil(sim.Time(20 * sim.Millisecond))
+	if p.QdiscDrops == 0 {
+		t.Error("overloaded qdisc never tail-dropped")
+	}
+}
+
+func TestOverlayEgressCostsMore(t *testing.T) {
+	po, _, so := newPipe(t, true)
+	pn, _, sn := newPipe(t, false)
+	load := func(p *Pipeline, s *sim.Scheduler) sim.Duration {
+		s.At(0, func() {
+			for i := uint64(0); i < 450; i++ {
+				p.Deliver(seg(i/45, i, (i+1)%45 == 0))
+			}
+		})
+		s.Run()
+		return p.Kernel.BusyTotal()
+	}
+	ob := load(po, so)
+	nb := load(pn, sn)
+	if !(ob > nb) {
+		t.Errorf("overlay egress (%v) should cost more kernel CPU than native (%v)", ob, nb)
+	}
+}
