@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|ablations|extensions|all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|queues|ablations|extensions|all")
 		measure = flag.Int("measure-ms", 12, "measured window per run (simulated ms)")
 		warmup  = flag.Int("warmup-ms", 3, "warmup per run (simulated ms)")
 		seed    = flag.Uint64("seed", 42, "simulation seed")
@@ -53,6 +53,8 @@ func main() {
 		tables = []*bench.Table{r.Fig12()}
 	case "13":
 		tables = []*bench.Table{r.Fig13()}
+	case "queues":
+		tables = []*bench.Table{r.Queues()}
 	case "ablations":
 		tables = r.Ablations()
 	case "extensions":

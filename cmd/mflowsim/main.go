@@ -8,6 +8,12 @@
 //	mflowsim -system vanilla -proto udp -size 65536 -cpu
 //	mflowsim -system mflow -proto tcp -batch 16 -split 3
 //	mflowsim -system mflow -flows 10 -kernel-cores 10 -app-cores 5
+//	mflowsim -system mflow -proto tcp -metrics out.json
+//
+// With -metrics the run attaches an observability registry and writes the
+// full metric snapshot for the measured window — per-stage latency and
+// inter-stage queueing histograms, sampled queue depths (NIC ring, backlogs,
+// sockets) and pipeline counters — as deterministic JSON.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"strings"
 
 	"mflow/internal/metrics"
+	"mflow/internal/obs"
 	"mflow/internal/overlay"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
@@ -39,6 +46,7 @@ func main() {
 		measure = flag.Int("measure-ms", 24, "measured window (simulated milliseconds)")
 		warmup  = flag.Int("warmup-ms", 4, "warmup (simulated milliseconds)")
 		cpu     = flag.Bool("cpu", false, "print the per-core CPU utilization breakdown")
+		metOut  = flag.String("metrics", "", "attach the observability registry and write its measured-window snapshot (queue depths, per-stage latency, NIC/device counters) as JSON to this file")
 		pcapOut = flag.String("pcap", "", "write wire-mode traffic to this pcap file (implies wire mode)")
 		wire    = flag.Bool("wire", false, "wire mode: real bytes end to end with integrity checks")
 		detect  = flag.Bool("autodetect", false, "split only detector-promoted elephant flows")
@@ -98,6 +106,9 @@ func main() {
 	if capture != nil {
 		sc.Capture = capture
 	}
+	if *metOut != "" {
+		sc.Obs = obs.New()
+	}
 	res := overlay.Run(sc)
 	fmt.Printf("scenario   %s\n", res.Scenario.Name())
 	fmt.Printf("throughput %.2f Gbps (%.0f msg/s, %d segments)\n", res.Gbps, res.MsgPerSec, res.DeliveredSegments)
@@ -117,4 +128,50 @@ func main() {
 	if *cpu {
 		fmt.Print(metrics.FormatCPU(res.CPU))
 	}
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.Obs.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("queues     %s\n", queueSummary(res.Obs))
+		fmt.Printf("metrics    written to %s (%d series)\n", *metOut, len(res.Obs))
+	}
+}
+
+// queueSummary picks the NIC ring and the deepest backlog out of the
+// sampled queue-depth series for the one-line report.
+func queueSummary(snap obs.Snapshot) string {
+	var parts []string
+	var worst string
+	var worstP99 int64 = -1
+	for _, name := range snap.Names() {
+		if !strings.HasPrefix(name, "queue_depth{") {
+			continue
+		}
+		m := snap[name]
+		q := strings.TrimSuffix(strings.TrimPrefix(name, "queue_depth{queue="), "}")
+		switch {
+		case strings.HasPrefix(q, "nic_ring"):
+			if m.Max > 0 {
+				parts = append(parts, fmt.Sprintf("%s p99=%d max=%d", q, m.P99, m.Max))
+			}
+		case strings.HasPrefix(q, "backlog:"):
+			if m.P99 > worstP99 {
+				worstP99, worst = m.P99, fmt.Sprintf("%s p99=%d max=%d", q, m.P99, m.Max)
+			}
+		}
+	}
+	if worst != "" {
+		parts = append(parts, worst)
+	}
+	if len(parts) == 0 {
+		return "(all sampled queues empty)"
+	}
+	return strings.Join(parts, "; ")
 }

@@ -8,6 +8,11 @@
 //
 //	mflowtrace -system mflow -proto tcp -segs 6
 //	mflowtrace -system falcon-dev -proto udp -segs 4
+//	mflowtrace -system mflow -proto tcp -export trace.json
+//
+// With -export the run also records per-core execution intervals and writes
+// a Chrome trace-event JSON file — one track per core, one per flow — that
+// loads directly in ui.perfetto.dev or chrome://tracing.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"mflow/internal/obs"
 	"mflow/internal/overlay"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
@@ -31,6 +37,7 @@ func main() {
 		size   = flag.Int("size", 65536, "message size in bytes")
 		segs   = flag.Int("segs", 4, "number of segments to print journeys for")
 		batch  = flag.Int("batch", 0, "mflow micro-flow batch size")
+		export = flag.String("export", "", "write a Perfetto/chrome://tracing-loadable trace-event JSON timeline (per-core busy tracks + per-flow packet tracks) to this file")
 	)
 	flag.Parse()
 
@@ -55,12 +62,18 @@ func main() {
 	}
 	tr.OnlySeqBelow = span
 
-	overlay.Run(overlay.Scenario{
+	sc := overlay.Scenario{
 		System: sys, Proto: p, MsgSize: *size,
 		Tracer: tr,
 		MFlow:  overlay.MFlowConfig{BatchSize: *batch},
 		Warmup: 1 * sim.Millisecond, Measure: 1 * sim.Millisecond,
-	})
+	}
+	var clog *obs.CoreLog
+	if *export != "" {
+		clog = &obs.CoreLog{}
+		sc.CoreLog = clog
+	}
+	overlay.Run(sc)
 
 	fmt.Printf("traced %d events across stages %v\n\n", len(tr.Events()), tr.Stages())
 	for s := 0; s < *segs; s++ {
@@ -85,5 +98,20 @@ func main() {
 	sort.Ints(cores)
 	for _, c := range cores {
 		fmt.Printf("  core %d: %v\n", c, occ[c])
+	}
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obs.ExportChromeTrace(f, tr.Events(), clog); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nexported %d core intervals + %d packet events to %s (open in ui.perfetto.dev or chrome://tracing)\n",
+			len(clog.Intervals), len(tr.Events()), *export)
 	}
 }

@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"mflow/internal/apps"
 	"mflow/internal/metrics"
+	"mflow/internal/obs"
 	"mflow/internal/overlay"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
@@ -23,13 +25,17 @@ type Runner struct {
 	Measure sim.Duration
 	// Seed fixes all runs.
 	Seed uint64
+	// Observe attaches a fresh obs.Registry to every run (NewRunner
+	// enables it), so figure results carry queue-depth and per-stage
+	// latency series alongside Gbps — see Queues().
+	Observe bool
 
 	cache map[string]*overlay.Result
 }
 
-// NewRunner returns a Runner with default windows.
+// NewRunner returns a Runner with default windows and observability on.
 func NewRunner() *Runner {
-	return &Runner{Warmup: 3 * sim.Millisecond, Measure: 12 * sim.Millisecond}
+	return &Runner{Warmup: 3 * sim.Millisecond, Measure: 12 * sim.Millisecond, Observe: true}
 }
 
 func (r *Runner) run(sc overlay.Scenario) *overlay.Result {
@@ -42,12 +48,17 @@ func (r *Runner) run(sc overlay.Scenario) *overlay.Result {
 	if sc.Seed == 0 {
 		sc.Seed = r.Seed
 	}
+	// The cache key is computed before a registry is attached: a fresh
+	// registry pointer per run must not defeat caching.
 	key := fmt.Sprintf("%+v", sc) // full scenario (pointers included) keys the cache
 	if r.cache == nil {
 		r.cache = make(map[string]*overlay.Result)
 	}
 	if res, ok := r.cache[key]; ok {
 		return res
+	}
+	if r.Observe && sc.Obs == nil {
+		sc.Obs = obs.New()
 	}
 	res := overlay.Run(sc)
 	r.cache[key] = res
@@ -347,6 +358,61 @@ func (r *Runner) Fig13() *Table {
 	return t
 }
 
+// queueStats digs the NIC-ring and worst-backlog depth series out of a
+// result's observability snapshot (zeros if the run was not observed).
+func queueStats(res *overlay.Result) (ringP99, ringMax int64, worst string, worstP99, worstMax int64) {
+	worst = "-"
+	for name, m := range res.Obs {
+		if !strings.HasPrefix(name, "queue_depth{queue=") {
+			continue
+		}
+		q := strings.TrimSuffix(strings.TrimPrefix(name, "queue_depth{queue="), "}")
+		switch {
+		case strings.HasPrefix(q, "nic_ring"):
+			if m.P99 > ringP99 {
+				ringP99 = m.P99
+			}
+			if m.Max > ringMax {
+				ringMax = m.Max
+			}
+		case strings.HasPrefix(q, "backlog:"):
+			if m.P99 > worstP99 || (m.P99 == worstP99 && m.Max > worstMax) {
+				worstP99, worstMax = m.P99, m.Max
+				worst = strings.TrimPrefix(q, "backlog:")
+			}
+		}
+	}
+	return
+}
+
+// Queues reports sampled queue occupancy — NIC descriptor ring and the
+// hottest softirq backlog — alongside throughput for every system at 64KB.
+// This is the observability layer's view of the paper's §II argument: the
+// serialized systems throttle with deep standing queues on one core, while
+// MFLOW spreads shallower queues across the splitting cores.
+func (r *Runner) Queues() *Table {
+	t := &Table{ID: "queues", Title: "Sampled queue occupancy at 64KB (p99/max depth over the measured window)"}
+	t.Columns = []string{"system", "proto", "Gbps", "ring p99/max", "hottest backlog", "backlog p99/max"}
+	observe := r.Observe
+	r.Observe = true
+	defer func() { r.Observe = observe }()
+	for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+		for _, s := range steering.Systems {
+			res := r.single(s, proto, 65536)
+			ringP99, ringMax, worst, wP99, wMax := queueStats(res)
+			t.Rows = append(t.Rows, []string{
+				s.String(), proto.String(), gbps(res.Gbps),
+				fmt.Sprintf("%d/%d", ringP99, ringMax),
+				worst,
+				fmt.Sprintf("%d/%d", wP99, wMax),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Depths are periodic simulated-time samples (obs queue-depth sampler); ring = NIC descriptor ring.")
+	return t
+}
+
 // All regenerates every figure in paper order.
 func (r *Runner) All() []*Table {
 	var out []*Table
@@ -358,6 +424,7 @@ func (r *Runner) All() []*Table {
 	out = append(out, r.Fig11()...)
 	out = append(out, r.Fig12())
 	out = append(out, r.Fig13())
+	out = append(out, r.Queues())
 	out = append(out, r.Ablations()...)
 	out = append(out, r.Extensions()...)
 	return out

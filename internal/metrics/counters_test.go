@@ -89,3 +89,35 @@ func TestFormatCPU(t *testing.T) {
 		t.Error("empty samples should say idle")
 	}
 }
+
+func TestSnapshotCPUZeroWindow(t *testing.T) {
+	s := sim.NewScheduler(1)
+	cores := sim.NewCores(1, s)
+	busy, tags := CaptureBusy(cores)
+	s.At(0, func() { cores[0].Exec(100, "skb") })
+	s.Run()
+	got := SnapshotCPU(cores, busy, tags, 500, 500)
+	if got[0].Total != 0 || len(got[0].ByTag) != 0 {
+		t.Errorf("zero-length window must yield zero utilization: %+v", got[0])
+	}
+}
+
+func TestSnapshotCPUNilTagBaseline(t *testing.T) {
+	s := sim.NewScheduler(1)
+	cores := sim.NewCores(1, s)
+	s.At(0, func() { cores[0].Exec(250, "vxlan") })
+	s.Run()
+	busy := make([]sim.Duration, 1) // zero baseline, but no tag baseline at all
+	got := SnapshotCPU(cores, busy, nil, 0, 1000)
+	if math.Abs(got[0].Total-0.25) > 1e-9 {
+		t.Errorf("total %.3f, want 0.25", got[0].Total)
+	}
+	if math.Abs(got[0].ByTag["vxlan"]-0.25) > 1e-9 {
+		t.Errorf("nil tagsAtSince must treat baseline as zero: %+v", got[0].ByTag)
+	}
+	// A nil inner map (core captured before any work) behaves the same.
+	got2 := SnapshotCPU(cores, busy, []map[string]sim.Duration{nil}, 0, 1000)
+	if math.Abs(got2[0].ByTag["vxlan"]-0.25) > 1e-9 {
+		t.Errorf("nil inner tag map: %+v", got2[0].ByTag)
+	}
+}

@@ -72,8 +72,19 @@ func bucketLow(b int) int64 {
 	return (1 << exp) + frac<<(exp-5)
 }
 
-// Record adds one sample. Negative samples are clamped to zero.
-func (h *Histogram) Record(v int64) {
+// Record adds one sample. Negative samples are clamped to zero. Recording
+// on a nil histogram is a no-op, so optional instrumentation can hold a nil
+// *Histogram and record unconditionally.
+func (h *Histogram) Record(v int64) { h.RecordN(v, 1) }
+
+// RecordN adds n identical samples of value v in one update — used when one
+// post-GRO skb stands for several wire segments and the distribution should
+// count per segment. Negative samples are clamped to zero; a nil histogram
+// or n == 0 is a no-op.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
 	if v < 0 {
 		v = 0
 	}
@@ -81,9 +92,9 @@ func (h *Histogram) Record(v int64) {
 	if b >= len(h.counts) {
 		b = len(h.counts) - 1
 	}
-	h.counts[b]++
-	h.n++
-	h.sum += float64(v)
+	h.counts[b] += n
+	h.n += n
+	h.sum += float64(v) * float64(n)
 	if v < h.min {
 		h.min = v
 	}
@@ -94,6 +105,9 @@ func (h *Histogram) Record(v int64) {
 
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Mean returns the arithmetic mean of the samples (0 if empty).
 func (h *Histogram) Mean() float64 {

@@ -136,3 +136,84 @@ func TestPercentile(t *testing.T) {
 		t.Error("empty percentile should be 0")
 	}
 }
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%g)=%d, want 0", q, v)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram accessors must return 0")
+	}
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{10, 500, 90000} {
+		h.Record(v)
+	}
+	if got := h.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0)=%d, want min 10", got)
+	}
+	if got := h.Quantile(1); got != 90000 {
+		t.Errorf("Quantile(1)=%d, want max 90000", got)
+	}
+	// Out-of-range q clamps to the extremes rather than misbehaving.
+	if h.Quantile(-0.5) != 10 || h.Quantile(2) != 90000 {
+		t.Error("out-of-range q must clamp to min/max")
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(12345)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 12345 {
+			t.Errorf("single-sample Quantile(%g)=%d, want 12345", q, v)
+		}
+	}
+}
+
+func TestQuantileBucketBoundaries(t *testing.T) {
+	// Values straddling the exact/log boundary (exactMax=64) and power-of-two
+	// bucket edges must round-trip within the documented relative error.
+	h := NewHistogram()
+	vals := []int64{63, 64, 65, 127, 128, 129, 1023, 1024, 1025}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if h.Min() != 63 || h.Max() != 1025 {
+		t.Fatalf("min/max wrong: %d/%d", h.Min(), h.Max())
+	}
+	for i, v := range vals {
+		// quantile hitting exactly sample i
+		q := (float64(i) + 0.5) / float64(len(vals))
+		got := h.Quantile(q)
+		if err := math.Abs(float64(got-v)) / float64(v); err > 1.0/subBuckets {
+			t.Errorf("Quantile(%g)=%d for sample %d: relative error %.3f", q, got, v, err)
+		}
+	}
+}
+
+func TestRecordN(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.RecordN(500, 4)
+	for i := 0; i < 4; i++ {
+		b.Record(500)
+	}
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Median() != b.Median() {
+		t.Errorf("RecordN(500,4) != 4×Record(500): %v vs %v", a, b)
+	}
+	a.RecordN(100, 0) // no-op
+	if a.Count() != 4 {
+		t.Error("RecordN with n=0 must be a no-op")
+	}
+	a.RecordN(-7, 2) // clamps to zero
+	if a.Min() != 0 || a.Count() != 6 {
+		t.Errorf("negative RecordN: min=%d count=%d", a.Min(), a.Count())
+	}
+	var nilH *Histogram
+	nilH.RecordN(1, 1) // must not panic
+}

@@ -57,6 +57,13 @@ type Device struct {
 	Cost Cost
 	// Action optionally transforms the skb (decap, header rewrite, ...).
 	Action func(*skb.SKB)
+
+	// SKBs / Segs / Bytes count the traffic this device instance has
+	// processed (per Apply call); the observability layer aggregates them
+	// across instances into device_* counters.
+	SKBs  uint64
+	Segs  uint64
+	Bytes uint64
 }
 
 // CostOf returns the device's cost for s.
@@ -64,6 +71,9 @@ func (d *Device) CostOf(s *skb.SKB) sim.Duration { return d.Cost.Of(s) }
 
 // Apply runs the device's semantic action on s.
 func (d *Device) Apply(s *skb.SKB) {
+	d.SKBs++
+	d.Segs += uint64(s.Segs)
+	d.Bytes += uint64(s.WireLen)
 	if d.Action != nil {
 		d.Action(s)
 	}

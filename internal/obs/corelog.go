@@ -1,0 +1,47 @@
+package obs
+
+import "mflow/internal/sim"
+
+// DefaultMaxIntervals bounds a CoreLog's memory: a 2ms traced window at
+// ~10 executions per skb stays well under this.
+const DefaultMaxIntervals = 1 << 20
+
+// Interval is one contiguous span of work charged to a core: the simulated
+// execution of one device/softirq cost on one CPU.
+type Interval struct {
+	Core       int
+	Tag        string
+	Start, End sim.Time
+}
+
+// CoreLog collects per-core busy intervals from sim.Core execution, the raw
+// material for the Perfetto timeline's one-track-per-core view. Attach it to
+// a run's cores before traffic starts.
+type CoreLog struct {
+	// MaxIntervals bounds memory (default DefaultMaxIntervals); further
+	// executions are counted in Skipped. A zero-value CoreLog is usable.
+	MaxIntervals int
+	// Intervals holds the recorded spans in execution order.
+	Intervals []Interval
+	// Skipped counts executions dropped once the cap was reached.
+	Skipped uint64
+}
+
+// Attach installs the log as each core's execution observer.
+func (l *CoreLog) Attach(cores ...*sim.Core) {
+	for _, c := range cores {
+		c.ExecLog = l.add
+	}
+}
+
+func (l *CoreLog) add(core int, tag string, start, end sim.Time) {
+	max := l.MaxIntervals
+	if max <= 0 {
+		max = DefaultMaxIntervals
+	}
+	if len(l.Intervals) >= max {
+		l.Skipped++
+		return
+	}
+	l.Intervals = append(l.Intervals, Interval{Core: core, Tag: tag, Start: start, End: end})
+}

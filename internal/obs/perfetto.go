@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mflow/internal/trace"
+)
+
+// The exported timeline groups tracks into two synthetic "processes": the
+// host CPUs (one thread per core, busy intervals as complete slices) and the
+// traced flows (one thread per flow, per-packet stage observations as
+// instant events).
+const (
+	PidCores = 1
+	PidFlows = 2
+)
+
+// ChromeEvent is one entry of the Chrome trace-event JSON format
+// (the "JSON Array Format" Perfetto and chrome://tracing both load).
+// Timestamps and durations are in microseconds, per the format.
+type ChromeEvent struct {
+	Name  string         `json:"name,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace-event JSON object.
+type chromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// us converts simulated nanoseconds to the format's microseconds.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ChromeTraceEvents converts tracer events plus core busy intervals into
+// Chrome trace events: metadata naming the tracks, one "X" complete slice
+// per core execution interval, and one "i" instant event per traced packet
+// observation on its flow's track. Either input may be nil/empty.
+func ChromeTraceEvents(events []trace.Event, log *CoreLog) []ChromeEvent {
+	var out []ChromeEvent
+	meta := func(pid int, tid int64, key, name string) {
+		out = append(out, ChromeEvent{
+			Ph: "M", Name: key, Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	if log != nil && len(log.Intervals) > 0 {
+		meta(PidCores, 0, "process_name", "cores")
+		cores := map[int]bool{}
+		for _, iv := range log.Intervals {
+			cores[iv.Core] = true
+		}
+		ids := make([]int, 0, len(cores))
+		for id := range cores {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			meta(PidCores, int64(id), "thread_name", fmt.Sprintf("core %d", id))
+		}
+		for _, iv := range log.Intervals {
+			out = append(out, ChromeEvent{
+				Name: iv.Tag, Cat: "exec", Ph: "X",
+				Ts: us(int64(iv.Start)), Dur: us(int64(iv.End.Sub(iv.Start))),
+				Pid: PidCores, Tid: int64(iv.Core),
+			})
+		}
+	}
+
+	if len(events) > 0 {
+		meta(PidFlows, 0, "process_name", "flows")
+		flows := map[uint64]bool{}
+		for _, e := range events {
+			if !flows[e.FlowID] {
+				flows[e.FlowID] = true
+				meta(PidFlows, int64(e.FlowID), "thread_name", fmt.Sprintf("flow %d", e.FlowID))
+			}
+		}
+		for _, e := range events {
+			out = append(out, ChromeEvent{
+				Name: e.Stage, Cat: "packet", Ph: "i",
+				Ts: us(int64(e.At)), Pid: PidFlows, Tid: int64(e.FlowID),
+				Scope: "t",
+				Args: map[string]any{
+					"seq": e.Seq, "segs": e.Segs, "core": e.Core,
+				},
+			})
+		}
+	}
+	return out
+}
+
+// ExportChromeTrace writes events and core intervals as a Chrome
+// trace-event JSON object loadable by Perfetto (ui.perfetto.dev) and
+// chrome://tracing.
+func ExportChromeTrace(w io.Writer, events []trace.Event, log *CoreLog) error {
+	t := chromeTrace{
+		TraceEvents:     ChromeTraceEvents(events, log),
+		DisplayTimeUnit: "ns",
+	}
+	if t.TraceEvents == nil {
+		t.TraceEvents = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"mflow/internal/metrics"
+	"mflow/internal/netdev"
 	"mflow/internal/sim"
 )
 
@@ -57,10 +58,16 @@ func (h *host) counters() snapshot {
 func (h *host) run() *Result {
 	sc := h.sc
 
+	// Queue-depth sampling runs through warmup and measurement alike; the
+	// warmup-boundary snapshot below separates the windows.
+	sc.Obs.StartSampler(h.sched, 0)
+
 	// Warmup: let windows fill and queues reach steady state.
 	h.sched.RunUntil(sim.Time(sc.Warmup))
 	busy0, tags0 := metrics.CaptureBusy(h.cores)
 	snap0 := h.counters()
+	h.syncObs()
+	obs0 := sc.Obs.Snapshot()
 	for _, fp := range h.flows {
 		fp.sock.Latency.Reset()
 	}
@@ -131,5 +138,73 @@ func (h *host) run() *Result {
 	if math.IsNaN(res.Gbps) {
 		res.Gbps = 0
 	}
+	if sc.Obs != nil {
+		sc.Obs.StopSampler()
+		h.syncObs()
+		res.Obs = sc.Obs.Snapshot().Diff(obs0)
+	}
 	return res
+}
+
+// syncObs mirrors the externally accumulated monotonic stats — NIC, queue
+// drops, per-device traffic — into the scenario's registry. It runs at both
+// window boundaries so Snapshot.Diff yields correct per-window deltas.
+func (h *host) syncObs() {
+	reg := h.sc.Obs
+	if reg == nil {
+		return
+	}
+	reg.Counter("nic_received").Set(h.nic.Received)
+	reg.Counter("nic_dropped").Set(h.nic.Dropped)
+	reg.Counter("nic_irqs").Set(h.nic.IRQs)
+
+	// Per-stage backlog totals, aggregated across same-named stages
+	// (parallel branches, multiple flows).
+	enq := map[string]uint64{}
+	drop := map[string]uint64{}
+	polls := map[string]uint64{}
+	seen := map[*netdev.Device]bool{}
+	devSegs := map[string]uint64{}
+	devSKBs := map[string]uint64{}
+	devBytes := map[string]uint64{}
+	for _, st := range h.stages {
+		enq[st.name] += st.worker.Enqueued
+		drop[st.name] += st.worker.Dropped
+		polls[st.name] += st.worker.PollRounds
+		for _, d := range append(append([]*netdev.Device{}, st.pre...), st.post...) {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			devSegs[d.Name] += d.Segs
+			devSKBs[d.Name] += d.SKBs
+			devBytes[d.Name] += d.Bytes
+		}
+	}
+	for name, v := range enq {
+		reg.Counter("backlog_enqueued", "stage", name).Set(v)
+	}
+	for name, v := range drop {
+		reg.Counter("backlog_dropped", "stage", name).Set(v)
+	}
+	for name, v := range polls {
+		reg.Counter("poll_rounds", "stage", name).Set(v)
+	}
+	for name, v := range devSegs {
+		reg.Counter("device_segs", "device", name).Set(v)
+	}
+	for name, v := range devSKBs {
+		reg.Counter("device_skbs", "device", name).Set(v)
+	}
+	for name, v := range devBytes {
+		reg.Counter("device_bytes", "device", name).Set(v)
+	}
+
+	var sockDrop, sockSegs uint64
+	for _, fp := range h.flows {
+		sockDrop += fp.sock.Dropped()
+		sockSegs += fp.sock.Packets
+	}
+	reg.Counter("socket_dropped").Set(sockDrop)
+	reg.Counter("socket_delivered_segs").Set(sockSegs)
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mflow/internal/metrics"
+	"mflow/internal/obs"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
 	"mflow/internal/steering"
@@ -122,6 +123,14 @@ type Scenario struct {
 	// Tracer, when set, records per-packet journeys through the pipeline
 	// (subject to the tracer's own filters and cap).
 	Tracer *trace.Tracer
+	// Obs, when set, attaches the unified observability layer: per-stage
+	// latency and inter-stage gap histograms for every packet, periodic
+	// queue-depth sampling of the NIC rings / backlogs / socket queues,
+	// and NIC/device counters. Nil disables it with zero hot-path cost.
+	Obs *obs.Registry
+	// CoreLog, when set, records every per-core execution interval for
+	// Perfetto/Chrome trace export (obs.ExportChromeTrace).
+	CoreLog *obs.CoreLog
 	// Capture, when set together with WireMode, streams every frame
 	// arriving at the NIC into a pcap capture written to this writer.
 	Capture io.Writer
@@ -251,6 +260,11 @@ type Result struct {
 	DeliveredSegments uint64
 	// GROFactor is the achieved merge factor.
 	GROFactor float64
+
+	// Obs is the measured-window view of the scenario's registry (counter
+	// values and histogram counts diffed over the window; gauges and
+	// histogram quantiles cumulative). Nil unless Scenario.Obs was set.
+	Obs obs.Snapshot
 }
 
 // String summarizes the headline numbers.

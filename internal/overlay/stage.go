@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"mflow/internal/gro"
+	"mflow/internal/metrics"
 	"mflow/internal/netdev"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
@@ -33,6 +34,16 @@ type stage struct {
 	// tracer records each emitted skb (nil = disabled).
 	tracer *trace.Tracer
 
+	// Observability instrumentation, attached when the scenario carries a
+	// registry: latency accumulates stage_latency{stage} (time since NIC
+	// arrival, weighted per wire segment) for every emitted skb; gap
+	// records stage_gap{from,to} (queueing delay since the previous
+	// stage's emission) at poll time. obsOn gates the skb bookkeeping so
+	// unobserved runs pay nothing.
+	latency *metrics.Histogram
+	gap     func(from string, v int64)
+	obsOn   bool
+
 	out func(*skb.SKB, sim.Time)
 }
 
@@ -57,6 +68,14 @@ func (st *stage) core() *sim.Core { return st.worker.Core }
 
 func (st *stage) process(batch []*skb.SKB) {
 	c := st.worker.Core
+	if st.obsOn {
+		now := st.sched.Now()
+		for _, s := range batch {
+			if s.LastStage != "" {
+				st.gap(s.LastStage, int64(now.Sub(s.LastStageAt)))
+			}
+		}
+	}
 	for _, s := range batch {
 		for _, d := range st.pre {
 			c.Exec(d.CostOf(s), d.Name)
@@ -82,6 +101,10 @@ func (st *stage) process(batch []*skb.SKB) {
 			end = c.FreeAt()
 		}
 		st.tracer.Record(end, s.FlowID, s.Seq, s.Segs, st.name, c.ID)
+		st.latency.RecordN(int64(end.Sub(s.ArrivedAt)), uint64(s.Segs))
+		if st.obsOn {
+			s.LastStage, s.LastStageAt = st.name, end
+		}
 		s := s
 		st.sched.At(end, func() { st.out(s, end) })
 	}

@@ -128,10 +128,18 @@ func (h *host) newClientCore() *sim.Core {
 	return c
 }
 
-// newStageT builds a stage and attaches the scenario tracer.
+// newStageT builds a stage and attaches the scenario tracer and, when the
+// scenario carries a registry, the per-stage latency/gap instrumentation.
+// Stages sharing a name (parallel branches, the same stage across flows)
+// share their histograms, so stage_latency{stage=X} aggregates all of X.
 func (h *host) newStageT(name string, coreC *sim.Core, cap int, wake sim.Duration) *stage {
 	st := newStage(name, coreC, h.sched, h.sc.Costs, cap, wake)
 	st.tracer = h.sc.Tracer
+	if reg := h.sc.Obs; reg != nil {
+		st.obsOn = true
+		st.latency = reg.Histogram("stage_latency", "stage", name)
+		st.gap = reg.GapTo(name)
+	}
 	return st
 }
 
@@ -153,8 +161,29 @@ func buildHost(sc Scenario) *host {
 		h.capture = pcap.NewWriter(sc.Capture)
 	}
 
+	if sc.CoreLog != nil {
+		sc.CoreLog.Attach(h.cores...)
+	}
+
 	for f := 0; f < sc.Flows; f++ {
 		h.buildFlow(f)
+	}
+
+	// Register queue-depth probes once the full topology exists: the NIC
+	// descriptor rings, every softirq backlog (keyed by stage name and a
+	// build-order index so parallel branches stay distinguishable), and
+	// each flow's socket receive queue.
+	if sc.Obs != nil {
+		for q := 0; q < h.nic.Config().Queues; q++ {
+			q := q
+			sc.Obs.SampleQueue(fmt.Sprintf("nic_ring%d", q), func() int { return h.nic.RingDepth(q) })
+		}
+		for i, st := range h.stages {
+			sc.Obs.SampleQueue(fmt.Sprintf("backlog:%s#%d", st.name, i), st.worker.Len)
+		}
+		for i, fp := range h.flows {
+			sc.Obs.SampleQueue(fmt.Sprintf("socket:flow%d", i+1), fp.sock.Worker().Len)
+		}
 	}
 	return h
 }
@@ -183,10 +212,22 @@ func (h *host) buildFlow(f int) {
 	for i := 1; i < sc.CopyThreads; i++ {
 		fp.sock.AddCopyThread(h.cores[(f+i)%sc.AppCores], copyCost, sockCap)
 	}
-	if tr := sc.Tracer; tr != nil {
+	if tr, reg := sc.Tracer, sc.Obs; tr != nil || reg != nil {
 		app := h.acore(f)
+		// User-space delivery is the pipeline's final stage: record its
+		// latency-since-NIC-arrival per wire segment (so histogram counts
+		// line up with delivered segment counts) and the queueing gap
+		// from the last kernel stage.
+		sockLat := reg.Histogram("stage_latency", "stage", "socket")
+		sockGap := reg.GapTo("socket")
 		fp.sock.Tap = func(s *skb.SKB, at sim.Time) {
-			tr.Record(at, s.FlowID, s.Seq, s.Segs, "socket", app.ID)
+			if tr != nil {
+				tr.Record(at, s.FlowID, s.Seq, s.Segs, "socket", app.ID)
+			}
+			sockLat.RecordN(int64(at.Sub(s.ArrivedAt)), uint64(s.Segs))
+			if s.LastStage != "" {
+				sockGap(s.LastStage, int64(at.Sub(s.LastStageAt)))
+			}
 		}
 	}
 

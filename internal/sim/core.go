@@ -31,6 +31,12 @@ type Core struct {
 	InterferenceProb float64
 	InterferenceMean Duration
 
+	// ExecLog, when set, observes every execution interval charged to the
+	// core (after speed/jitter/interference adjustment) — the hook the
+	// observability layer's Perfetto exporter uses to reconstruct per-core
+	// busy timelines. Nil costs nothing on the hot path beyond one branch.
+	ExecLog func(coreID int, tag string, start, end Time)
+
 	sched     *Scheduler
 	busyUntil Time
 	busyByTag map[string]Duration
@@ -94,6 +100,9 @@ func (c *Core) Exec(d Duration, tag string) (start, end Time) {
 	c.busyUntil = end
 	c.busyByTag[tag] += adj
 	c.busyTotal += adj
+	if c.ExecLog != nil {
+		c.ExecLog(c.ID, tag, start, end)
+	}
 	return start, end
 }
 

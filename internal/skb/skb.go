@@ -71,6 +71,13 @@ type SKB struct {
 	SentAt    sim.Time
 	ArrivedAt sim.Time
 
+	// LastStage / LastStageAt record the pipeline stage that last emitted
+	// this skb and when — the provenance the observability layer uses to
+	// attribute inter-stage queueing delay (stage_gap{from,to}). Empty/zero
+	// unless a run has a registry attached.
+	LastStage   string
+	LastStageAt sim.Time
+
 	// Data optionally holds the real wire bytes (nil in synthetic runs;
 	// populated in wire-mode runs and correctness tests).
 	Data []byte

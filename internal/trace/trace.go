@@ -25,22 +25,38 @@ type Event struct {
 	Core  int
 }
 
+// DefaultMaxEvents is the event cap applied when Tracer.MaxEvents is unset.
+const DefaultMaxEvents = 65536
+
 // Tracer collects events up to a cap (tracing every packet of a long run
-// would dwarf the simulation itself).
+// would dwarf the simulation itself). The zero value is a usable tracer
+// with the default cap and no filters.
 type Tracer struct {
-	// MaxEvents bounds memory (default 65536); OnlyFlow, when non-zero,
-	// restricts tracing to one flow; OnlySeqBelow, when non-zero,
-	// restricts to the first packets of each flow.
+	// MaxEvents bounds memory (<= 0 means DefaultMaxEvents); OnlyFlow,
+	// when non-zero, restricts tracing to one flow; OnlySeqBelow, when
+	// non-zero, restricts to the first packets of each flow.
 	MaxEvents    int
 	OnlyFlow     uint64
 	OnlySeqBelow uint64
 
 	events  []Event
 	Skipped uint64
+
+	// byFlow memoizes events grouped by flow and sorted by time, built on
+	// first query (Journey, CoreOccupancy) and invalidated by Record.
+	byFlow map[uint64][]Event
 }
 
 // New returns a tracer with the default cap.
-func New() *Tracer { return &Tracer{MaxEvents: 65536} }
+func New() *Tracer { return &Tracer{} }
+
+// cap returns the effective event cap.
+func (t *Tracer) cap() int {
+	if t.MaxEvents > 0 {
+		return t.MaxEvents
+	}
+	return DefaultMaxEvents
+}
 
 // Record appends an event, subject to the tracer's filters and cap.
 func (t *Tracer) Record(at sim.Time, flowID, seq uint64, segs int, stage string, core int) {
@@ -53,30 +69,46 @@ func (t *Tracer) Record(at sim.Time, flowID, seq uint64, segs int, stage string,
 	if t.OnlySeqBelow != 0 && seq >= t.OnlySeqBelow {
 		return
 	}
-	max := t.MaxEvents
-	if max <= 0 {
-		max = 65536
-	}
-	if len(t.events) >= max {
+	if len(t.events) >= t.cap() {
 		t.Skipped++
 		return
 	}
+	t.byFlow = nil
 	t.events = append(t.events, Event{At: at, FlowID: flowID, Seq: seq, Segs: segs, Stage: stage, Core: core})
 }
 
 // Events returns everything recorded, in recording order.
 func (t *Tracer) Events() []Event { return t.events }
 
+// flowIndex returns events grouped by flow, each group sorted by time
+// (stably, so same-instant events keep recording order). The index is built
+// once and reused until the next Record.
+func (t *Tracer) flowIndex() map[uint64][]Event {
+	if t.byFlow == nil {
+		m := make(map[uint64][]Event)
+		for _, e := range t.events {
+			m[e.FlowID] = append(m[e.FlowID], e)
+		}
+		for _, evs := range m {
+			evs := evs
+			sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		}
+		t.byFlow = m
+	}
+	return t.byFlow
+}
+
 // Journey returns the events touching segment seq of a flow (an event
-// covering [Seq, Seq+Segs) matches), in time order.
+// covering [Seq, Seq+Segs) matches), in time order. Repeated queries reuse
+// the memoized per-flow index instead of rescanning and re-sorting the full
+// event log per call.
 func (t *Tracer) Journey(flowID, seq uint64) []Event {
 	var out []Event
-	for _, e := range t.events {
-		if e.FlowID == flowID && seq >= e.Seq && seq < e.Seq+uint64(e.Segs) {
+	for _, e := range t.flowIndex()[flowID] {
+		if seq >= e.Seq && seq < e.Seq+uint64(e.Segs) {
 			out = append(out, e)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
 
@@ -110,16 +142,18 @@ func (t *Tracer) RenderJourney(flowID, seq uint64) string {
 }
 
 // CoreOccupancy counts events per core per stage — a quick view of where
-// packets were handled.
+// packets were handled. It shares Journey's memoized flow index.
 func (t *Tracer) CoreOccupancy() map[int]map[string]int {
 	out := map[int]map[string]int{}
-	for _, e := range t.events {
-		m := out[e.Core]
-		if m == nil {
-			m = map[string]int{}
-			out[e.Core] = m
+	for _, evs := range t.flowIndex() {
+		for _, e := range evs {
+			m := out[e.Core]
+			if m == nil {
+				m = map[string]int{}
+				out[e.Core] = m
+			}
+			m[e.Stage]++
 		}
-		m[e.Stage]++
 	}
 	return out
 }

@@ -3,6 +3,8 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"mflow/internal/sim"
 )
 
 func TestTracerRecordAndJourney(t *testing.T) {
@@ -82,5 +84,52 @@ func TestRenderAndOccupancy(t *testing.T) {
 	stages := tr.Stages()
 	if len(stages) != 2 || stages[0] != "nic" {
 		t.Errorf("stages: %v", stages)
+	}
+}
+
+func TestZeroValueTracerUsable(t *testing.T) {
+	var tr Tracer
+	for i := 0; i < DefaultMaxEvents+5; i++ {
+		tr.Record(sim.Time(i), 1, uint64(i), 1, "x", 0)
+	}
+	if len(tr.Events()) != DefaultMaxEvents || tr.Skipped != 5 {
+		t.Errorf("zero-value cap: %d events, %d skipped", len(tr.Events()), tr.Skipped)
+	}
+}
+
+func TestJourneyIndexInvalidatedByRecord(t *testing.T) {
+	tr := New()
+	tr.Record(100, 1, 0, 1, "nic", -1)
+	if len(tr.Journey(1, 0)) != 1 { // builds the memoized index
+		t.Fatal("first journey wrong")
+	}
+	tr.Record(200, 1, 0, 1, "socket", 0) // must invalidate it
+	j := tr.Journey(1, 0)
+	if len(j) != 2 || j[1].Stage != "socket" {
+		t.Fatalf("stale index after Record: %+v", j)
+	}
+	// Out-of-order recording still yields time-ordered journeys, and
+	// repeated queries agree with each other.
+	tr.Record(50, 1, 0, 1, "wire", -1)
+	j = tr.Journey(1, 0)
+	if len(j) != 3 || j[0].Stage != "wire" {
+		t.Fatalf("index not re-sorted: %+v", j)
+	}
+	again := tr.Journey(1, 0)
+	for i := range j {
+		if j[i] != again[i] {
+			t.Fatal("repeated queries diverged")
+		}
+	}
+}
+
+func TestJourneySameInstantStableOrder(t *testing.T) {
+	tr := New()
+	tr.Record(100, 1, 0, 1, "a", 0)
+	tr.Record(100, 1, 0, 1, "b", 0)
+	tr.Record(100, 1, 0, 1, "c", 0)
+	j := tr.Journey(1, 0)
+	if len(j) != 3 || j[0].Stage != "a" || j[1].Stage != "b" || j[2].Stage != "c" {
+		t.Errorf("same-instant events lost recording order: %+v", j)
 	}
 }
