@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|queues|ablations|extensions|all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|queues|ablations|extensions|chaos|all")
 		measure = flag.Int("measure-ms", 12, "measured window per run (simulated ms)")
 		warmup  = flag.Int("warmup-ms", 3, "warmup per run (simulated ms)")
 		seed    = flag.Uint64("seed", 42, "simulation seed")
@@ -59,6 +59,8 @@ func main() {
 		tables = r.Ablations()
 	case "extensions":
 		tables = r.Extensions()
+	case "chaos":
+		tables = r.Chaos()
 	case "all":
 		tables = r.All()
 	default:

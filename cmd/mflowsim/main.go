@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"mflow/internal/fault"
 	"mflow/internal/metrics"
 	"mflow/internal/obs"
 	"mflow/internal/overlay"
@@ -51,6 +52,13 @@ func main() {
 		wire    = flag.Bool("wire", false, "wire mode: real bytes end to end with integrity checks")
 		detect  = flag.Bool("autodetect", false, "split only detector-promoted elephant flows")
 		modelTX = flag.Bool("modeltx", false, "model the sender-side transmit pipeline explicitly")
+
+		loss      = flag.Float64("loss", 0, "uniform wire-frame drop probability (enables fault injection)")
+		burst     = flag.String("burst", "", "Gilbert-Elliott burst loss as pGoodBad,pBadGood,lossBad (e.g. 0.002,0.1,0.75)")
+		dup       = flag.Float64("dup", 0, "wire-frame duplication probability")
+		corrupt   = flag.Float64("corrupt", 0, "wire-frame corruption probability (detected by -wire checksums)")
+		stall     = flag.Float64("stall", 0, "per-execution kernel-core stall probability (20us mean stalls)")
+		faultseed = flag.Uint64("faultseed", 0, "extra seed for the fault injector's own PRNG")
 	)
 	flag.Parse()
 
@@ -102,6 +110,25 @@ func main() {
 		sc.KernelCores = 10
 		sc.AppCores = 5
 	}
+	if *loss > 0 || *burst != "" || *dup > 0 || *corrupt > 0 || *stall > 0 {
+		plan := &fault.Plan{
+			Seed: *faultseed,
+			Wire: fault.Profile{Drop: *loss, Dup: *dup, Corrupt: *corrupt},
+		}
+		if *burst != "" {
+			var pgb, pbg, lb float64
+			if _, err := fmt.Sscanf(*burst, "%f,%f,%f", &pgb, &pbg, &lb); err != nil {
+				fmt.Fprintf(os.Stderr, "bad -burst %q: want pGoodBad,pBadGood,lossBad\n", *burst)
+				os.Exit(2)
+			}
+			plan.Wire.Burst = &fault.GilbertElliott{PGoodBad: pgb, PBadGood: pbg, LossBad: lb}
+		}
+		if *stall > 0 {
+			plan.StallProb = *stall
+			plan.StallMean = 20 * sim.Microsecond
+		}
+		sc.Faults = plan
+	}
 
 	if capture != nil {
 		sc.Capture = capture
@@ -119,6 +146,12 @@ func main() {
 		res.OOOSKBs, res.OOOSegments, res.DeliveredOutOfOrder, res.TCPOFOSegments, res.ReassemblySwitches)
 	fmt.Printf("drops      ring=%d socket=%d backlog=%d\n", res.DropsRing, res.DropsSock, res.DropsBacklog)
 	fmt.Printf("kernel cpu total=%.0f%% stddev=%.1fpp\n", res.KernelCPUTotal, res.KernelCPUStddev)
+	if sc.Faults.Enabled() {
+		fmt.Printf("faults     injected=%d (drops=%d) retransmits=%d (rto=%d fast=%d) holes=%d stale=%d ofo-pruned=%d dup-segs=%d reasm-errs=%d\n",
+			res.FaultsInjected, res.FaultDrops, res.Retransmits, res.RTOTimeouts,
+			res.FastRetransmits, res.HolesReleased, res.StaleReleased, res.OFOPruned,
+			res.TCPDupSegments, res.ReassemblyErrors)
+	}
 	if *wire {
 		fmt.Printf("wire       integrity errors: %d\n", res.WireErrors)
 	}

@@ -205,6 +205,7 @@ func TestReassemblerGROStraddlesBatches(t *testing.T) {
 func TestReassemblerPartialFinalBatchRotates(t *testing.T) {
 	var out []*skb.SKB
 	r := NewReassembler(2, 4, collect(&out))
+	r.Strict = true // assert the contiguity invariant below via panic
 	// mf1 ends short: only segs 0-1 (flow paused), then mf... actually a
 	// short mf1 means the flow ended; rotation happens when a later
 	// micro-flow appears at mf1's queue head. mf3 shares q0 with mf1.

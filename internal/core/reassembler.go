@@ -31,9 +31,24 @@ type Reassembler struct {
 	SwitchCost sim.Duration
 	PerSKB     sim.Duration
 	// AllowGaps tolerates missing segments inside a micro-flow
-	// (connectionless flows can lose datagrams to queue overflow; TCP
-	// paths keep the strict contiguity invariant).
+	// (connectionless flows can lose datagrams to queue overflow, and
+	// fault-injected TCP paths see holes that retransmission later
+	// fills out of band).
 	AllowGaps bool
+	// Strict panics on contiguity violations (stale segments, unexpected
+	// gaps) instead of recording them — the lossless-run invariant check
+	// used by tests. Without Strict a violation outside AllowGaps mode is
+	// recorded in Errors/FirstErr and the merger degrades to the
+	// AllowGaps behavior, so a single fault cannot kill a bench run.
+	Strict bool
+	// GapTimeout, when set together with Sched, bounds how long the
+	// merger stalls on a hole: if no segment is delivered for a full
+	// GapTimeout while skbs sit buffered, the lowest-sequence head is
+	// force-released and the counter jumps past the hole (recorded in
+	// HolesReleased). Zero disables the timer (the lossless default).
+	GapTimeout sim.Duration
+	// Sched drives the gap-release timer in simulated time.
+	Sched *sim.Scheduler
 	// TagRouting files arrivals by the skb's Branch tag instead of the
 	// round-robin formula — required when a Splitter gate (elephant
 	// detection) routes micro-flows off-formula.
@@ -53,8 +68,14 @@ type Reassembler struct {
 	// Switches counts micro-flow rotations performed.
 	Switches uint64
 	// StaleSKBs counts skbs delivered behind the merging counter after
-	// loss made their batch look complete (AllowGaps mode only).
+	// loss made their batch look complete (gap-tolerant paths only).
 	StaleSKBs uint64
+	// HolesReleased counts gap-timeout force-releases.
+	HolesReleased uint64
+	// Errors counts contiguity violations recorded in non-Strict mode;
+	// FirstErr keeps the first one for diagnostics.
+	Errors   uint64
+	FirstErr error
 	// BufferedPeak is the maximum total skbs parked across all queues.
 	BufferedPeak int
 
@@ -63,6 +84,9 @@ type Reassembler struct {
 	expectedSeq uint64 // next segment sequence to deliver
 	arrivedMax  uint64 // highest EndSeq seen at the merge point
 	buffered    int
+	gapArmed    bool
+	gapMark     uint64 // DeliveredSegments when the gap timer was armed
+	gapFrontier uint64 // arrivedMax when the gap timer was armed
 }
 
 // NewReassembler returns a reassembler for a flow split across numQueues
@@ -116,7 +140,120 @@ func (r *Reassembler) Arrive(s *skb.SKB) error {
 		r.BufferedPeak = r.buffered
 	}
 	r.pump()
+	if r.buffered > 0 {
+		r.armGapTimer()
+	}
 	return nil
+}
+
+// violation records a contiguity violation: panic under Strict (the
+// lossless-run invariant check), otherwise count it and let the caller
+// degrade to the gap-tolerant behavior.
+func (r *Reassembler) violation(format string, args ...any) {
+	if r.Strict {
+		panic(fmt.Sprintf(format, args...))
+	}
+	r.Errors++
+	if r.FirstErr == nil {
+		r.FirstErr = fmt.Errorf(format, args...)
+	}
+}
+
+// armGapTimer schedules a stall check GapTimeout from now (one pending
+// event at most). When the timer finds no segment was delivered for a full
+// period while skbs sat buffered, it force-releases the hole.
+func (r *Reassembler) armGapTimer() {
+	if r.gapArmed || r.GapTimeout <= 0 || r.Sched == nil {
+		return
+	}
+	r.gapArmed = true
+	r.gapMark = r.DeliveredSegments
+	r.gapFrontier = r.arrivedMax
+	r.Sched.After(r.GapTimeout, r.onGapTimer)
+}
+
+func (r *Reassembler) onGapTimer() {
+	r.gapArmed = false
+	if r.buffered == 0 {
+		return
+	}
+	if r.DeliveredSegments != r.gapMark {
+		// The merger made progress since arming; keep watching.
+		r.armGapTimer()
+		return
+	}
+	// Stalled for a full period. Every buffered head below the arrival
+	// frontier recorded at arming is either a late retransmission the
+	// merger already skipped past, or data blocked on a segment that
+	// predates everything received since — pipeline skew is far smaller
+	// than the timeout, so that segment is lost, not delayed. Release all
+	// of them in one pass (a serial one-hole-per-timeout release cannot
+	// keep up with steady loss); heads at or past the frontier are younger
+	// and get their own full period.
+	limit := r.gapFrontier
+	for r.buffered > 0 {
+		head := r.lowestHead()
+		if head == nil || head.Seq >= limit {
+			break
+		}
+		r.releaseHole()
+	}
+	if r.buffered > 0 {
+		r.armGapTimer()
+	}
+}
+
+// lowestHead returns the lowest-sequence buffered queue head, or nil.
+func (r *Reassembler) lowestHead() *skb.SKB {
+	var best *skb.SKB
+	for _, q := range r.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if best == nil || q[0].Seq < best.Seq {
+			best = q[0]
+		}
+	}
+	return best
+}
+
+// releaseHole delivers the lowest-sequence buffered head out of band and
+// jumps the merging counter past the hole that stalled it, then pumps.
+// The segments lost in the hole stay lost (UDP) or return later as
+// retransmissions, which the stale path delivers.
+func (r *Reassembler) releaseHole() {
+	best := -1
+	for i, q := range r.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if best == -1 || q[0].Seq < r.queues[best][0].Seq {
+			best = i
+		}
+	}
+	if best == -1 {
+		return
+	}
+	head := r.queues[best][0]
+	r.queues[best] = r.queues[best][1:]
+	r.buffered--
+	r.HolesReleased++
+	if head.MicroFlow > r.counter {
+		r.counter = head.MicroFlow
+		r.Switches++
+	}
+	if end := head.EndSeq(); end > r.expectedSeq {
+		r.expectedSeq = end
+	}
+	r.DeliveredSegments += uint64(head.Segs)
+	if r.Core != nil && r.PerSKB > 0 {
+		r.Core.Exec(r.PerSKB, "mflow-merge")
+	}
+	r.Deliver(head)
+	for r.expectedSeq >= r.counter*uint64(r.BatchSize) {
+		r.advance()
+	}
+	r.pump()
 }
 
 // pump drains whole micro-flows in counter order while queue heads allow.
@@ -140,11 +277,12 @@ func (r *Reassembler) pump() {
 			continue
 		}
 		if head.MicroFlow < r.counter {
-			// A micro-flow the merger already rotated past (possible
-			// only when loss made an earlier batch look complete):
-			// deliver it immediately rather than stalling the stream.
+			// A micro-flow the merger already rotated past (loss made an
+			// earlier batch look complete, or a retransmission arrived
+			// long after its batch): deliver it immediately rather than
+			// stalling the stream.
 			if !r.AllowGaps {
-				panic(fmt.Sprintf("reassembler: stale %v behind counter %d", head, r.counter))
+				r.violation("reassembler: stale %v behind counter %d", head, r.counter)
 			}
 			r.StaleSKBs++
 			r.queues[qi] = q[1:]
@@ -158,12 +296,12 @@ func (r *Reassembler) pump() {
 		}
 		if head.Seq != r.expectedSeq {
 			if !r.AllowGaps {
-				// Within a micro-flow the core's FIFO preserves order;
-				// a gap here would mean segment loss, which a TCP path
-				// never produces in the simulation.
-				panic(fmt.Sprintf("reassembler: head %v but expected seq %d", head, r.expectedSeq))
+				// Within a micro-flow the core's FIFO preserves order; a
+				// gap here means segment loss, which a lossless TCP path
+				// never produces.
+				r.violation("reassembler: head %v but expected seq %d", head, r.expectedSeq)
 			}
-			// Datagram loss upstream: skip over the hole (forward only).
+			// Loss upstream: skip over the hole (forward only).
 			if head.Seq > r.expectedSeq {
 				r.expectedSeq = head.Seq
 			}
@@ -199,7 +337,7 @@ func (r *Reassembler) pumpTagged() {
 		for i := range r.queues {
 			for len(r.queues[i]) > 0 && r.queues[i][0].MicroFlow < r.counter {
 				if !r.AllowGaps {
-					panic(fmt.Sprintf("reassembler: stale %v behind counter %d", r.queues[i][0], r.counter))
+					r.violation("reassembler: stale %v behind counter %d", r.queues[i][0], r.counter)
 				}
 				head := r.queues[i][0]
 				r.queues[i] = r.queues[i][1:]
@@ -255,7 +393,7 @@ func (r *Reassembler) pumpTagged() {
 		head := r.queues[cur][0]
 		if head.Seq != r.expectedSeq {
 			if !r.AllowGaps {
-				panic(fmt.Sprintf("reassembler: head %v but expected seq %d", head, r.expectedSeq))
+				r.violation("reassembler: head %v but expected seq %d", head, r.expectedSeq)
 			}
 			if head.Seq > r.expectedSeq {
 				r.expectedSeq = head.Seq

@@ -1,0 +1,160 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+
+	"mflow/internal/fault"
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+)
+
+// chaosProfiles are the fault profiles the acceptance matrix runs — the
+// canonical plans shared with the bench harness (mflowbench -fig chaos).
+func chaosProfiles() map[string]*fault.Plan {
+	return fault.ChaosProfiles()
+}
+
+func chaosScenario(sys steering.System, proto skb.Proto, plan *fault.Plan) Scenario {
+	return Scenario{
+		System: sys, Proto: proto, MsgSize: 65536,
+		Warmup: 2 * sim.Millisecond, Measure: 6 * sim.Millisecond,
+		Faults: plan,
+	}
+}
+
+// TestChaosMatrix is the acceptance harness: every system × protocol ×
+// fault profile must finish (no panic), keep delivering (no stalled flow),
+// and — for TCP — preserve in-order delivery to the application.
+func TestChaosMatrix(t *testing.T) {
+	for _, sys := range steering.ExtendedSystems {
+		for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+			for name, plan := range chaosProfiles() {
+				t.Run(fmt.Sprintf("%s/%s/%s", sys, proto, name), func(t *testing.T) {
+					r := Run(chaosScenario(sys, proto, plan))
+					if r.DeliveredSegments == 0 {
+						t.Fatal("flow stalled: nothing delivered in the measured window")
+					}
+					if r.FaultsInjected == 0 {
+						t.Fatal("injector idle: the fault plan was not wired")
+					}
+					if proto == skb.TCP {
+						if r.DeliveredOutOfOrder != 0 {
+							t.Fatalf("TCP delivered %d skbs out of order", r.DeliveredOutOfOrder)
+						}
+						if r.Retransmits == 0 {
+							t.Fatal("lossy TCP run recovered nothing: retransmission not wired")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosThroughputDegradesProportionally checks graceful degradation:
+// ~1% wire loss must not collapse MFLOW's TCP goodput — it stays within a
+// bounded factor of the lossless run.
+func TestChaosThroughputDegradesProportionally(t *testing.T) {
+	for _, sys := range []steering.System{steering.Vanilla, steering.MFlow} {
+		lossless := Run(chaosScenario(sys, skb.TCP, nil))
+		lossy := Run(chaosScenario(sys, skb.TCP, chaosProfiles()["random"]))
+		if lossy.Gbps < lossless.Gbps/4 {
+			t.Fatalf("%s: 1%% loss collapsed goodput %7.2f -> %7.2f Gbps (more than 4x)",
+				sys, lossless.Gbps, lossy.Gbps)
+		}
+	}
+}
+
+// TestZeroFaultPlanIsInert: a plan with every rate at zero must leave the
+// run bit-for-bit identical to one without a plan (the injector is never
+// created, so no PRNG draw or code path differs).
+func TestZeroFaultPlanIsInert(t *testing.T) {
+	for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+		base := Run(chaosScenario(steering.MFlow, proto, nil))
+		zeroed := Run(chaosScenario(steering.MFlow, proto, &fault.Plan{
+			// Recovery knobs alone must not enable injection either.
+			RTO: 5 * sim.Millisecond, GapTimeout: sim.Millisecond, OFOCap: 64,
+		}))
+		if base.DeliveredBytes != zeroed.DeliveredBytes ||
+			base.DeliveredSegments != zeroed.DeliveredSegments ||
+			base.OOOSegments != zeroed.OOOSegments ||
+			base.ReassemblySwitches != zeroed.ReassemblySwitches ||
+			base.Latency.Median() != zeroed.Latency.Median() ||
+			base.Latency.P99() != zeroed.Latency.P99() {
+			t.Fatalf("%v: zero-rate plan perturbed the run:\n  base   %+v bytes=%d segs=%d\n  zeroed %+v bytes=%d segs=%d",
+				proto, base.Gbps, base.DeliveredBytes, base.DeliveredSegments,
+				zeroed.Gbps, zeroed.DeliveredBytes, zeroed.DeliveredSegments)
+		}
+		if zeroed.FaultsInjected != 0 || zeroed.Retransmits != 0 {
+			t.Fatalf("%v: zero-rate plan injected faults", proto)
+		}
+	}
+}
+
+// TestFaultRunsAreDeterministic: the injector draws from its own seeded
+// PRNG, so identical scenarios with identical plans take identical fault
+// decisions and deliver identical results.
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	mk := func() *Result {
+		return Run(chaosScenario(steering.MFlow, skb.TCP, chaosProfiles()["burst"]))
+	}
+	a, b := mk(), mk()
+	if a.FaultsInjected != b.FaultsInjected || a.Retransmits != b.Retransmits ||
+		a.DeliveredBytes != b.DeliveredBytes || a.DeliveredSegments != b.DeliveredSegments ||
+		a.StaleReleased != b.StaleReleased || a.HolesReleased != b.HolesReleased {
+		t.Fatalf("two identical fault runs diverged:\n  a: faults=%d retx=%d bytes=%d\n  b: faults=%d retx=%d bytes=%d",
+			a.FaultsInjected, a.Retransmits, a.DeliveredBytes,
+			b.FaultsInjected, b.Retransmits, b.DeliveredBytes)
+	}
+}
+
+// TestWireCorruptionCaughtByChecksums: in wire mode, corrupted frames must
+// be detected by the decap/verify path (counted, not silently delivered),
+// and the run still completes.
+func TestWireCorruptionCaughtByChecksums(t *testing.T) {
+	sc := chaosScenario(steering.Vanilla, skb.TCP, &fault.Plan{
+		Wire: fault.Profile{Corrupt: 0.01},
+	})
+	sc.WireMode = true
+	sc.Warmup, sc.Measure = sim.Millisecond, 3*sim.Millisecond
+	r := Run(sc)
+	if r.FaultsInjected == 0 {
+		t.Fatal("no corruption injected")
+	}
+	if r.WireErrors == 0 {
+		t.Fatal("corrupted frames slipped past the wire-mode integrity checks")
+	}
+	if r.DeliveredSegments == 0 {
+		t.Fatal("corruption stalled the flow")
+	}
+}
+
+// TestBacklogAndSocketFaultPoints exercises the queue-admission drop points
+// on a UDP path: both must count drops and the flow must keep delivering.
+func TestBacklogAndSocketFaultPoints(t *testing.T) {
+	r := Run(chaosScenario(steering.MFlow, skb.UDP, &fault.Plan{
+		RingDrop: 0.002, BacklogDrop: 0.002, SockDrop: 0.002,
+	}))
+	if r.FaultDrops == 0 {
+		t.Fatal("no queue-admission drops injected")
+	}
+	if r.DeliveredSegments == 0 {
+		t.Fatal("queue faults stalled the flow")
+	}
+}
+
+// TestCoreStallFaults: stall/jitter faults only perturb timing — the run
+// completes and still delivers everything the window allows.
+func TestCoreStallFaults(t *testing.T) {
+	r := Run(chaosScenario(steering.MFlow, skb.TCP, &fault.Plan{
+		StallProb: 0.01, StallMean: 20 * sim.Microsecond, IRQJitter: 0.05,
+	}))
+	if r.DeliveredSegments == 0 {
+		t.Fatal("core stalls stalled the flow entirely")
+	}
+	if r.DeliveredOutOfOrder != 0 {
+		t.Fatalf("TCP delivered %d skbs out of order under stalls", r.DeliveredOutOfOrder)
+	}
+}

@@ -78,9 +78,10 @@ func (h *host) buildMFlowTCP(f int, fp *flowPath) *stage {
 		fp.reasm.Core = app
 		fp.reasm.SwitchCost = cfg.MergeSwitch
 		fp.reasm.PerSKB = cfg.MergePerSKB
+		h.armFaultRecovery(fp)
 		arrive = func(s *skb.SKB, _ sim.Time) {
 			if err := fp.reasm.Arrive(s); err != nil {
-				panic(err)
+				fp.recordArriveErr(err)
 			}
 		}
 	}
@@ -203,9 +204,10 @@ func (h *host) buildMFlowUDP(f int, fp *flowPath) *stage {
 		fp.reasm.Core = app
 		fp.reasm.SwitchCost = cfg.MergeSwitch
 		fp.reasm.PerSKB = cfg.MergePerSKB
+		h.armFaultRecovery(fp)
 		arrive = func(s *skb.SKB, _ sim.Time) {
 			if err := fp.reasm.Arrive(s); err != nil {
-				panic(err)
+				fp.recordArriveErr(err)
 			}
 		}
 		splitDevs = h.udpSplitChain(fp, true)
@@ -227,9 +229,10 @@ func (h *host) buildMFlowUDP(f int, fp *flowPath) *stage {
 		fp.reasm.Core = rest.core()
 		fp.reasm.SwitchCost = cfg.MergeSwitch
 		fp.reasm.PerSKB = cfg.MergePerSKB
+		h.armFaultRecovery(fp)
 		arrive = func(s *skb.SKB, _ sim.Time) {
 			if err := fp.reasm.Arrive(s); err != nil {
-				panic(err)
+				fp.recordArriveErr(err)
 			}
 		}
 		splitDevs = []*netdev.Device{fp.vxDevice(cfg)}

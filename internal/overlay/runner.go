@@ -23,6 +23,12 @@ type snapshot struct {
 	ooo, oooSKB          uint64
 	tcpOFO, switches     uint64
 	deliveredOOO         uint64
+
+	// Fault-injection and degradation counters.
+	faults, faultDrops      uint64
+	retx, rtoTO, fastRetx   uint64
+	dupSegs, ofoPruned      uint64
+	stale, holes, reasmErrs uint64
 }
 
 func (h *host) counters() snapshot {
@@ -34,11 +40,24 @@ func (h *host) counters() snapshot {
 		s.sock += fp.sock.Dropped()
 		if fp.tcpRx != nil {
 			s.tcpOFO += fp.tcpRx.OOOArrivals
+			s.dupSegs += fp.tcpRx.DupSegments
+			s.ofoPruned += fp.tcpRx.OFOPruned
+			// TCP's in-order contract is measured at the socket: this
+			// must stay zero even under fault injection.
+			s.deliveredOOO += fp.sock.OOODelivered
+		}
+		if fp.tcpTx != nil {
+			s.retx += fp.tcpTx.Retransmits
+			s.rtoTO += fp.tcpTx.RTOTimeouts
+			s.fastRetx += fp.tcpTx.FastRetransmits
 		}
 		if fp.reasm != nil {
 			s.ooo += fp.reasm.OOOSegments
 			s.oooSKB += fp.reasm.OOOSKBs
 			s.switches += fp.reasm.Switches
+			s.stale += fp.reasm.StaleSKBs
+			s.holes += fp.reasm.HolesReleased
+			s.reasmErrs += fp.reasm.Errors
 			if fp.udpRx != nil {
 				s.deliveredOOO += fp.udpRx.OOOArrivals
 			}
@@ -47,10 +66,15 @@ func (h *host) counters() snapshot {
 			s.oooSKB += fp.udpRx.OOOArrivals
 			s.deliveredOOO += fp.udpRx.OOOArrivals
 		}
+		s.reasmErrs += fp.arriveErrs
 	}
 	s.ring = h.nic.Dropped
 	for _, st := range h.stages {
 		s.backlog += st.worker.Dropped
+	}
+	if h.inj != nil {
+		s.faults = h.inj.Total()
+		s.faultDrops = h.inj.Drops()
 	}
 	return s
 }
@@ -112,6 +136,24 @@ func (h *host) run() *Result {
 	res.DropsRing = snap1.ring - snap0.ring
 	res.DropsSock = snap1.sock - snap0.sock
 	res.DropsBacklog = snap1.backlog - snap0.backlog
+	res.FaultsInjected = snap1.faults - snap0.faults
+	res.FaultDrops = snap1.faultDrops - snap0.faultDrops
+	res.Retransmits = snap1.retx - snap0.retx
+	res.RTOTimeouts = snap1.rtoTO - snap0.rtoTO
+	res.FastRetransmits = snap1.fastRetx - snap0.fastRetx
+	res.StaleReleased = snap1.stale - snap0.stale
+	res.HolesReleased = snap1.holes - snap0.holes
+	res.OFOPruned = snap1.ofoPruned - snap0.ofoPruned
+	res.TCPDupSegments = snap1.dupSegs - snap0.dupSegs
+	res.ReassemblyErrors = snap1.reasmErrs - snap0.reasmErrs
+	for _, fp := range h.flows {
+		if res.ReassemblyErr == nil && fp.reasm != nil {
+			res.ReassemblyErr = fp.reasm.FirstErr
+		}
+		if res.ReassemblyErr == nil {
+			res.ReassemblyErr = fp.arriveErr
+		}
+	}
 
 	// Kernel-core balance (Fig. 12's metric): mean/stddev of per-core
 	// utilization percentages across the kernel pool.
@@ -207,4 +249,21 @@ func (h *host) syncObs() {
 	}
 	reg.Counter("socket_dropped").Set(sockDrop)
 	reg.Counter("socket_delivered_segs").Set(sockSegs)
+
+	// Fault-injection and degradation counters (all zero without a fault
+	// plan, so fault-free registries are unchanged in shape only when the
+	// scenario never carried a plan — values stay zero either way).
+	if h.inj != nil {
+		s := h.counters()
+		reg.Counter("faults_injected").Set(s.faults)
+		reg.Counter("fault_drops").Set(s.faultDrops)
+		reg.Counter("retransmits").Set(s.retx)
+		reg.Counter("rto_timeouts").Set(s.rtoTO)
+		reg.Counter("fast_retransmits").Set(s.fastRetx)
+		reg.Counter("stale_released").Set(s.stale)
+		reg.Counter("holes_released").Set(s.holes)
+		reg.Counter("ofo_pruned").Set(s.ofoPruned)
+		reg.Counter("tcp_dup_segments").Set(s.dupSegs)
+		reg.Counter("reassembly_errors").Set(s.reasmErrs)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"mflow/internal/fault"
 	"mflow/internal/metrics"
 	"mflow/internal/obs"
 	"mflow/internal/sim"
@@ -151,6 +152,14 @@ type Scenario struct {
 	// sockperf-like senders; application-level workloads (web serving,
 	// data caching) drive the stack through a Stack instead.
 	NoTraffic bool
+	// Faults, when non-nil and enabled, injects deterministic faults
+	// (lossy/bursty/corrupting wire, ring/backlog/socket admission drops,
+	// kernel-core stalls) and arms the recovery machinery: the TCP sender
+	// retransmits (adaptive RTO + fast retransmit), the reassembler
+	// tolerates gaps and releases holes on a timer, and the TCP
+	// out-of-order queue is bounded. A nil or all-zero plan wires nothing,
+	// leaving the run bit-for-bit identical to a fault-free one.
+	Faults *fault.Plan
 	// Seed makes the run deterministic.
 	Seed uint64
 	// Warmup precedes measurement; Measure is the measured window.
@@ -241,9 +250,11 @@ type Result struct {
 	OOOSKBs            uint64
 	TCPOFOSegments     uint64
 	ReassemblySwitches uint64
-	// DeliveredOutOfOrder counts UDP datagrams reaching the application
-	// out of order after whatever order restoration the topology does
-	// (zero for TCP by construction; near-zero for MFLOW's reassembler).
+	// DeliveredOutOfOrder counts datagrams/segments reaching the
+	// application out of order after whatever order restoration the
+	// topology does (near-zero for MFLOW's UDP reassembler). For TCP it
+	// is measured at the socket and must stay zero — even under fault
+	// injection, where the receiver re-orders retransmissions.
 	DeliveredOutOfOrder uint64
 
 	// DropsRing / DropsSock / DropsBacklog count losses at the NIC ring,
@@ -253,8 +264,34 @@ type Result struct {
 	DropsBacklog uint64
 
 	// WireErrors counts wire-mode integrity failures (decap errors plus
-	// socket payload-verification failures); zero in a correct run.
+	// socket payload-verification failures); zero in a correct run
+	// without fault injection (corruption faults surface here).
 	WireErrors uint64
+
+	// Fault-injection and degradation counters, all diffed over the
+	// measured window and zero unless Scenario.Faults is enabled.
+	// FaultsInjected counts every injector decision that took effect
+	// (drops, duplications, corruptions); FaultDrops only the losses.
+	FaultsInjected uint64
+	FaultDrops     uint64
+	// Retransmits counts resent TCP segments; RTOTimeouts timer-driven
+	// recoveries; FastRetransmits triple-dup-ACK recoveries.
+	Retransmits     uint64
+	RTOTimeouts     uint64
+	FastRetransmits uint64
+	// StaleReleased counts skbs the reassembler delivered behind its
+	// merging counter (late retransmissions); HolesReleased counts
+	// gap-timeout force-releases; OFOPruned counts skbs evicted from the
+	// bounded TCP out-of-order queue; TCPDupSegments counts duplicate
+	// segments the TCP receiver discarded.
+	StaleReleased  uint64
+	HolesReleased  uint64
+	OFOPruned      uint64
+	TCPDupSegments uint64
+	// ReassemblyErrors counts contiguity violations the reassembler
+	// recorded instead of panicking; ReassemblyErr keeps the first one.
+	ReassemblyErrors uint64
+	ReassemblyErr    error
 	// DeliveredBytes / DeliveredSegments over the measured window.
 	DeliveredBytes    uint64
 	DeliveredSegments uint64

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	mflow "mflow/internal/core"
+	"mflow/internal/fault"
 	"mflow/internal/gro"
 	"mflow/internal/netdev"
 	"mflow/internal/nic"
@@ -34,6 +35,7 @@ type host struct {
 	stages  []*stage
 	gros    []*gro.GRO
 	capture *pcap.Writer
+	inj     *fault.Injector // nil unless sc.Faults is enabled
 }
 
 // flowPath is one flow's receive pipeline endpoints and sources.
@@ -41,12 +43,27 @@ type flowPath struct {
 	id     uint64
 	sock   *proto.Socket
 	tcpRx  *proto.TCPReceiver
+	tcpTx  *traffic.TCPSender
 	udpRx  *proto.UDPReceiver
 	reasm  *mflow.Reassembler
 	split  *mflow.Splitter
 	detect *mflow.Detector
 	vx     *netdev.VXLAN
 	stops  []func()
+
+	// arriveErrs records reassembler Arrive failures (missing micro-flow
+	// stamps) instead of panicking mid-run; arriveErr keeps the first.
+	arriveErrs uint64
+	arriveErr  error
+}
+
+// recordArriveErr notes a reassembler admission error; the run degrades
+// (the skb is not merged) rather than dying.
+func (fp *flowPath) recordArriveErr(err error) {
+	fp.arriveErrs++
+	if fp.arriveErr == nil {
+		fp.arriveErr = err
+	}
 }
 
 // encapIngress models the sending host's VxLAN encapsulation: frames arrive
@@ -140,12 +157,20 @@ func (h *host) newStageT(name string, coreC *sim.Core, cap int, wake sim.Duratio
 		st.latency = reg.Histogram("stage_latency", "stage", name)
 		st.gap = reg.GapTo(name)
 	}
+	if h.inj != nil && h.sc.Faults.BacklogDrop > 0 {
+		// Backlog admission loss (netif_rx-style). The NIC-fed first
+		// stage swaps this for the ring gate in buildFlow.
+		st.worker.Gate = func(*skb.SKB) bool { return !h.inj.DropBacklog() }
+	}
 	return st
 }
 
 // buildHost constructs the complete topology for a scenario.
 func buildHost(sc Scenario) *host {
 	h := &host{sc: sc, sched: sim.NewScheduler(sc.Seed)}
+	if sc.Faults.Enabled() {
+		h.inj = fault.NewInjector(*sc.Faults, sc.Seed)
+	}
 	cfg := sc.Costs
 	total := sc.AppCores + sc.KernelCores
 	h.cores = sim.NewCores(total, h.sched)
@@ -153,6 +178,18 @@ func buildHost(sc Scenario) *host {
 		c.JitterAmp = cfg.JitterAmp
 		c.InterferenceProb = cfg.InterferenceProb
 		c.InterferenceMean = cfg.InterferenceMean
+		if h.inj != nil {
+			// Core-stall / IRQ-jitter faults ride the cores' existing
+			// noise knobs: the stall probability adds to the calibrated
+			// interference, and the stall mean widens it (a single
+			// exponential process stands in for both sources).
+			p := sc.Faults
+			c.JitterAmp += p.IRQJitter
+			c.InterferenceProb += p.StallProb
+			if p.StallMean > c.InterferenceMean {
+				c.InterferenceMean = p.StallMean
+			}
+		}
 	}
 	nicCfg := cfg.NIC
 	nicCfg.Queues = sc.Flows
@@ -212,6 +249,13 @@ func (h *host) buildFlow(f int) {
 	for i := 1; i < sc.CopyThreads; i++ {
 		fp.sock.AddCopyThread(h.cores[(f+i)%sc.AppCores], copyCost, sockCap)
 	}
+	if h.inj != nil && sc.Proto == skb.UDP && sc.Faults.SockDrop > 0 {
+		// Socket receive-queue loss (rmem pressure). UDP only: a TCP
+		// socket never drops in-order data it has implicitly acked — it
+		// shrinks the advertised window instead, which the sender's
+		// outstanding limit already models.
+		fp.sock.Gate(func(*skb.SKB) bool { return !h.inj.DropSock() })
+	}
 	if tr, reg := sc.Tracer, sc.Obs; tr != nil || reg != nil {
 		app := h.acore(f)
 		// User-space delivery is the pipeline's final stage: record its
@@ -238,6 +282,15 @@ func (h *host) buildFlow(f int) {
 		first = h.buildPlannedFlow(f, fp)
 	}
 	h.nic.AttachDriver(f, first.worker)
+	if h.inj != nil {
+		// The driver worker's queue is the NIC descriptor ring: its
+		// admission gate is the ring-drop point, not a backlog one (undo
+		// any backlog gate newStageT installed).
+		first.worker.Gate = nil
+		if sc.Faults.RingDrop > 0 {
+			first.worker.Gate = func(*skb.SKB) bool { return !h.inj.DropRing() }
+		}
+	}
 	if sc.NoTraffic {
 		return
 	}
@@ -249,6 +302,16 @@ func (h *host) buildFlow(f int) {
 		// sense in NIC arrival order.
 		ingress = &arrivalSeq{n: h.nic}
 	}
+	// The lossy-link tap sits between frame construction and NIC arrival:
+	// in wire mode corruption flips real bytes (after the builder attaches
+	// them, before the pcap capture sees them), and dropped frames never
+	// consume an arrival sequence number.
+	wrapFault := func(in traffic.Ingress) traffic.Ingress {
+		if h.inj != nil && sc.Faults.WireActive() {
+			return h.inj.Wrap(in)
+		}
+		return in
+	}
 	switch {
 	case sc.WireMode:
 		// Real bytes end to end; the builder also performs the
@@ -256,10 +319,12 @@ func (h *host) buildFlow(f int) {
 		if h.capture != nil {
 			ingress = &captureTap{h: h, inner: ingress}
 		}
-		ingress = newWireBuilder(ingress, fp.id, overlay)
+		ingress = newWireBuilder(wrapFault(ingress), fp.id, overlay)
 		fp.sock.Verify = wireVerify(fp)
 	case overlay:
-		ingress = encapIngress{ingress}
+		ingress = encapIngress{wrapFault(ingress)}
+	default:
+		ingress = wrapFault(ingress)
 	}
 	// Explicit sender-side pipeline: the sender's syscall work and the
 	// egress chain replace the aggregate client-cost model.
@@ -289,6 +354,24 @@ func (h *host) buildFlow(f int) {
 			NetDelay: cfg.NetDelay,
 			Cost:     clientCostTCP,
 		}
+		if h.inj != nil {
+			tx.Reliable = true
+			tx.InitialRTO = sc.Faults.RTOOrDefault()
+			if fp.tcpRx != nil {
+				// Dup ACKs ride the same (lossless) return path as
+				// cumulative ACKs and steer fast retransmit at the
+				// receiver's missing sequence.
+				fp.tcpRx.DupAck = func(e uint64) {
+					h.sched.After(cfg.NetDelay, func() { tx.DupAck(e) })
+				}
+				// The hole map that SACK blocks would carry on those
+				// ACKs; the simulator queries the receiver's scoreboard
+				// directly, so one recovery sweep repairs every known
+				// hole per round trip.
+				tx.Missing = fp.tcpRx.Missing
+			}
+		}
+		fp.tcpTx = tx
 		fp.sock.Ack = func(end uint64, _ sim.Time) {
 			h.sched.After(cfg.NetDelay, func() { tx.Ack(end, h.sched.Now()) })
 		}
@@ -324,12 +407,38 @@ func (h *host) tailFor(fp *flowPath, core *sim.Core) func(*skb.SKB, sim.Time) {
 			OOOQueueCost: h.sc.Costs.OOOQueue,
 			Deliver:      func(s *skb.SKB) { fp.sock.Enqueue(s) },
 		}
+		if h.inj != nil {
+			fp.tcpRx.OFOCap = h.sc.Faults.OFOCapOrDefault()
+		}
 		return func(s *skb.SKB, _ sim.Time) { fp.tcpRx.Rx(s, core) }
 	}
 	fp.udpRx = &proto.UDPReceiver{
 		Deliver: func(s *skb.SKB) { fp.sock.Enqueue(s) },
 	}
 	return func(s *skb.SKB, _ sim.Time) { fp.udpRx.Rx(s, core) }
+}
+
+// armFaultRecovery relaxes a flow's reassembler for fault-injected runs:
+// holes are tolerated (losses are skipped over, retransmissions return as
+// stale micro-flows and are delivered out of band for the TCP layer to
+// re-order) and the gap timer bounds how long the merger can stall on a
+// hole. No-op without an injector, so lossless runs keep the strict
+// contiguity invariant.
+func (h *host) armFaultRecovery(fp *flowPath) {
+	if h.inj == nil || fp.reasm == nil {
+		return
+	}
+	fp.reasm.AllowGaps = true
+	fp.reasm.GapTimeout = h.sc.Faults.GapTimeoutOrDefault()
+	if h.sc.Proto == skb.TCP && h.sc.Faults.GapTimeout == 0 {
+		// TCP restores order downstream (the receiver's out-of-order
+		// queue), so an over-eager release costs only some re-parking —
+		// while every microsecond the merger stalls delays the duplicate
+		// ACKs that drive loss recovery. Default far tighter than UDP,
+		// where a release turns straight into out-of-order delivery.
+		fp.reasm.GapTimeout = h.sc.Faults.GapTimeoutOrDefault() / 8
+	}
+	fp.reasm.Sched = h.sched
 }
 
 // addStageDevices fills a stage's device lists for one plan stage.

@@ -37,6 +37,12 @@ type Socket struct {
 	Bytes   uint64
 	Msgs    uint64
 	Packets uint64
+	// OOODelivered counts skbs that reached user space with a sequence
+	// below one already delivered — for TCP this must stay zero even
+	// under fault injection (the in-order contract).
+	OOODelivered uint64
+
+	maxEnd uint64
 
 	worker *sim.Worker[*skb.SKB]
 	extra  []*sim.Worker[*skb.SKB]
@@ -94,6 +100,15 @@ func (s *Socket) Enqueue(sk *skb.SKB) bool {
 	return s.extra[i-1].Enqueue(sk)
 }
 
+// Gate installs an admission gate on every copy-thread queue — fault
+// injection's socket-drop point. Call after AddCopyThread.
+func (s *Socket) Gate(g func(*skb.SKB) bool) {
+	s.worker.Gate = g
+	for _, w := range s.extra {
+		w.Gate = g
+	}
+}
+
 // Dropped returns the number of skbs lost to receive-queue overflow.
 func (s *Socket) Dropped() uint64 {
 	d := s.worker.Dropped
@@ -114,6 +129,12 @@ func (s *Socket) delivered(sk *skb.SKB, at sim.Time) {
 				s.FirstVerifyErr = err
 			}
 		}
+	}
+	if sk.Seq < s.maxEnd {
+		s.OOODelivered++
+	}
+	if end := sk.EndSeq(); end > s.maxEnd {
+		s.maxEnd = end
 	}
 	s.Bytes += uint64(sk.PayloadLen)
 	s.Packets += uint64(sk.Segs)

@@ -7,6 +7,8 @@
 package proto
 
 import (
+	"sort"
+
 	"mflow/internal/sim"
 	"mflow/internal/skb"
 )
@@ -19,8 +21,11 @@ type AckFn func(endSeq uint64, at sim.Time)
 // super-packets) whose sequence matches the expected next sequence are
 // delivered onward; anything else is parked in an out-of-order queue —
 // which costs CPU per packet, the overhead MFLOW's batch reassembly avoids
-// (paper §III-B). Coverage must be contiguous and non-overlapping, which the
-// simulated link guarantees (no loss or retransmission on the testbed LAN).
+// (paper §III-B). On a lossless run coverage is contiguous and
+// non-overlapping; under fault injection the receiver additionally sheds
+// duplicates (keeping the first copy of a parked segment), signals
+// immediate duplicate ACKs for fast retransmit, and bounds the
+// out-of-order queue with kernel-style pruning (tcp_prune_ofo_queue).
 type TCPReceiver struct {
 	// Expected is the next in-order segment sequence.
 	Expected uint64
@@ -29,11 +34,26 @@ type TCPReceiver struct {
 	OOOQueueCost sim.Duration
 	// Deliver receives in-order skbs (typically the socket stage).
 	Deliver func(*skb.SKB)
+	// DupAck, when set, is invoked with the current expected sequence
+	// whenever a segment arrives that real TCP acknowledges immediately —
+	// out-of-order or duplicate data. It is the receiver-side half of
+	// fast retransmit; lossless runs leave it nil.
+	DupAck func(expected uint64)
+	// OFOCap bounds the out-of-order queue (skbs). When exceeded, the
+	// highest-sequence parked skb is dropped, like the kernel pruning the
+	// ofo queue under memory pressure; the sender retransmits it. Zero
+	// means unbounded (the lossless-run default).
+	OFOCap int
 
 	// OOOArrivals counts skbs that arrived ahead of sequence; OOOPeak is
 	// the maximum depth the out-of-order queue reached.
 	OOOArrivals uint64
 	OOOPeak     int
+	// DupSegments counts segments discarded as already-received
+	// (spurious retransmissions and wire duplicates). OFOPruned counts
+	// segments dropped by out-of-order queue pruning.
+	DupSegments uint64
+	OFOPruned   uint64
 
 	ooo map[uint64]*skb.SKB
 }
@@ -41,18 +61,44 @@ type TCPReceiver struct {
 // Rx processes one skb arriving at the TCP layer on core (charged for any
 // out-of-order queue work).
 func (r *TCPReceiver) Rx(s *skb.SKB, core *sim.Core) {
+	if s.Seq < r.Expected {
+		// Already covered (a retransmission that lost the race, or a wire
+		// duplicate). Like a BSD-lineage stack we discard the whole skb
+		// even on partial overlap — any genuinely new tail is still
+		// unacknowledged at the sender, and the duplicate ACK below
+		// steers its retransmission to exactly r.Expected.
+		r.DupSegments += uint64(s.Segs)
+		if r.DupAck != nil {
+			r.DupAck(r.Expected)
+		}
+		return
+	}
 	if s.Seq != r.Expected {
 		// Ahead of sequence: park it.
-		r.OOOArrivals++
 		if r.ooo == nil {
 			r.ooo = make(map[uint64]*skb.SKB)
 		}
+		if _, dup := r.ooo[s.Seq]; dup {
+			// Same hole retransmitted twice: keep the first copy.
+			r.DupSegments += uint64(s.Segs)
+			if r.DupAck != nil {
+				r.DupAck(r.Expected)
+			}
+			return
+		}
+		r.OOOArrivals++
 		r.ooo[s.Seq] = s
+		if r.OFOCap > 0 && len(r.ooo) > r.OFOCap {
+			r.pruneOFO()
+		}
 		if len(r.ooo) > r.OOOPeak {
 			r.OOOPeak = len(r.ooo)
 		}
 		if r.OOOQueueCost > 0 && core != nil {
 			core.Exec(r.OOOQueueCost, "tcp-ofo")
+		}
+		if r.DupAck != nil {
+			r.DupAck(r.Expected)
 		}
 		return
 	}
@@ -71,6 +117,66 @@ func (r *TCPReceiver) Rx(s *skb.SKB, core *sim.Core) {
 		r.Expected = next.EndSeq()
 		r.Deliver(next)
 	}
+	// A drained GRO super-packet can straddle a parked skb's range,
+	// leaving entries keyed below Expected; sweep them as duplicates.
+	if len(r.ooo) > 0 {
+		for seq, parked := range r.ooo {
+			if seq < r.Expected {
+				r.DupSegments += uint64(parked.Segs)
+				delete(r.ooo, seq)
+			}
+		}
+	}
+	// Data still parked means the fill exposed the next hole: acknowledge
+	// immediately so the sender learns the new missing sequence without
+	// waiting for further out-of-order arrivals (NewReno's partial-ACK
+	// signal, which lets recovery proceed one hole per round trip).
+	if len(r.ooo) > 0 && r.DupAck != nil {
+		r.DupAck(r.Expected)
+	}
+}
+
+// Missing returns up to max missing segment sequences between Expected and
+// the highest sequence parked in the out-of-order queue — the hole map a
+// real receiver advertises in SACK blocks. The sender's recovery sweep uses
+// it to retransmit every known hole in one round trip instead of
+// discovering them serially.
+func (r *TCPReceiver) Missing(max int) []uint64 {
+	if len(r.ooo) == 0 || max <= 0 {
+		return nil
+	}
+	covered := make([][2]uint64, 0, len(r.ooo))
+	for _, sk := range r.ooo {
+		covered = append(covered, [2]uint64{sk.Seq, sk.EndSeq()})
+	}
+	sort.Slice(covered, func(i, j int) bool { return covered[i][0] < covered[j][0] })
+	var missing []uint64
+	next := r.Expected
+	for _, iv := range covered {
+		for ; next < iv[0]; next++ {
+			missing = append(missing, next)
+			if len(missing) >= max {
+				return missing
+			}
+		}
+		if iv[1] > next {
+			next = iv[1]
+		}
+	}
+	return missing
+}
+
+// pruneOFO drops the highest-sequence parked skb — the one furthest from
+// being deliverable, whose retransmission costs the least extra wait.
+func (r *TCPReceiver) pruneOFO() {
+	var maxSeq uint64
+	for seq := range r.ooo {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	r.OFOPruned += uint64(r.ooo[maxSeq].Segs)
+	delete(r.ooo, maxSeq)
 }
 
 // Pending returns the current out-of-order queue depth.

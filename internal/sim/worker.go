@@ -46,6 +46,11 @@ type Worker[T any] struct {
 	// Core.Exec) and delivering results downstream. GRO uses this to
 	// merge a batch before charging downstream stages.
 	ProcessBatch func(batch []T)
+	// Gate, if non-nil, is consulted before each enqueue: returning false
+	// rejects the item without touching the queue or the Dropped counter
+	// (the gate owns the accounting). Fault injection uses this to model
+	// ring/backlog/socket admission loss independent of occupancy.
+	Gate func(T) bool
 
 	queue     []T
 	scheduled bool
@@ -82,6 +87,9 @@ func (w *Worker[T]) Idle() bool { return len(w.queue) == 0 && !w.scheduled }
 // the worker is idle. It reports whether the item was accepted (false means
 // the bounded queue was full and the item was dropped).
 func (w *Worker[T]) Enqueue(item T) bool {
+	if w.Gate != nil && !w.Gate(item) {
+		return false
+	}
 	if w.Cap > 0 && len(w.queue) >= w.Cap {
 		w.Dropped++
 		return false

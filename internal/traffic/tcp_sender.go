@@ -5,12 +5,40 @@ import (
 	"mflow/internal/skb"
 )
 
+// Retransmission-timer bounds (RFC 6298 shape, scaled to the testbed's
+// microsecond RTTs) and the backoff cap.
+const (
+	rtoMin     = 200 * sim.Microsecond
+	rtoMax     = 20 * sim.Millisecond
+	maxBackoff = 10
+	// sackBudget caps how many holes one recovery sweep retransmits.
+	sackBudget = 128
+)
+
+// segRec is the retransmit buffer's record of one unacknowledged segment.
+type segRec struct {
+	payload int
+	msgID   uint64
+	msgEnd  bool
+	sentAt  sim.Time // first transmission (Karn: resends are never sampled)
+	retx    bool     // has been retransmitted at least once
+	retxAt  sim.Time // last retransmission (holds off spurious re-resends)
+}
+
 // TCPSender streams fixed-size messages over one TCP flow, window-limited
 // like a real sender: at most Window segments may be outstanding
 // (unacknowledged), and cumulative ACKs from the receiver's socket open the
 // window. Throughput therefore emerges from whichever stage of the receive
 // pipeline is slowest — including the receiver's user-space copy thread,
 // because acknowledgements are clocked by consumption.
+//
+// With Reliable set (fault-injected runs) the sender also recovers from
+// loss: every unacknowledged segment is held in a retransmit buffer, an
+// adaptive retransmission timer (SRTT + 4×RTTVAR, exponential backoff,
+// Karn's rule) resends the receiver's first missing segment on expiry, and
+// a third duplicate ACK for the same hole triggers fast retransmit. The
+// reverse (ACK) path is modeled lossless. Lossless runs leave Reliable
+// false and take byte-for-byte the seed's code path.
 type TCPSender struct {
 	FlowID  uint64
 	MsgSize int
@@ -26,16 +54,46 @@ type TCPSender struct {
 	Cost     ClientCost
 	Seq      *SeqAlloc
 
+	// Reliable enables the retransmit buffer, the RTO timer and fast
+	// retransmit. InitialRTO seeds the timer before any RTT sample
+	// exists (required when Reliable).
+	Reliable   bool
+	InitialRTO sim.Duration
+	// Missing, when set, is the receiver's hole map — the information
+	// SACK blocks carry on real ACKs. During recovery the sender sweeps
+	// it and retransmits every known hole at once (bounded by sackBudget
+	// and a per-segment re-send holdoff) instead of discovering holes one
+	// round trip at a time. Nil degrades to NewReno-style serial recovery.
+	Missing func(max int) []uint64
+
 	// Stats.
 	MsgsSent  uint64
 	SegsSent  uint64
 	BytesSent uint64
+	// Retransmits counts all resent segments; RTOTimeouts counts timer
+	// expiries that resent data; FastRetransmits counts triple-dup-ACK
+	// recoveries.
+	Retransmits     uint64
+	RTOTimeouts     uint64
+	FastRetransmits uint64
 
 	acked   uint64
 	inMsg   int // bytes of the current message already segmented
 	msgID   uint64
 	stopped bool
 	started bool
+
+	// Reliable-mode state.
+	sent         map[uint64]*segRec // unacked segments by sequence
+	srtt, rttvar sim.Duration
+	backoff      uint
+	frontier     uint64 // receiver's receipt frontier (max dup-ACK seq seen)
+	dupSeq       uint64 // hole the current dup-ACK run points at
+	dupCount     int
+	recoverSeq uint64 // NewReno recovery point (Seq.Sent() at recovery entry)
+	recovering bool   // in loss recovery until acked reaches recoverSeq
+	rtoGen     uint64 // invalidates superseded timer events
+	rtoArmed   bool
 }
 
 // Start begins streaming. Safe to call once.
@@ -47,6 +105,9 @@ func (t *TCPSender) Start() {
 	if t.Seq == nil {
 		t.Seq = &SeqAlloc{}
 	}
+	if t.Reliable {
+		t.sent = make(map[uint64]*segRec)
+	}
 	t.pump()
 }
 
@@ -55,11 +116,117 @@ func (t *TCPSender) Stop() { t.stopped = true }
 
 // Ack is the receiver's cumulative acknowledgement callback; wire it via
 // the socket with the return-path delay applied by the caller.
-func (t *TCPSender) Ack(endSeq uint64, _ sim.Time) {
+func (t *TCPSender) Ack(endSeq uint64, at sim.Time) {
 	if endSeq > t.acked {
+		if t.Reliable {
+			for s := t.acked; s < endSeq; s++ {
+				rec, ok := t.sent[s]
+				if !ok {
+					continue
+				}
+				if !rec.retx {
+					t.rttSample(at.Sub(rec.sentAt))
+				}
+				delete(t.sent, s)
+			}
+			if endSeq > t.frontier {
+				t.frontier = endSeq
+			}
+			t.backoff = 0
+			t.dupCount = 0
+			// NewReno exit: recovery persists across partial ACKs and ends
+			// only once everything outstanding at recovery entry is acked.
+			if t.recovering && endSeq >= t.recoverSeq {
+				t.recovering = false
+			}
+		}
 		t.acked = endSeq
+		if t.Reliable {
+			// Restart the timer with the fresh (un-backed-off) RTO, or
+			// cancel it when everything in flight has been acknowledged.
+			if t.Outstanding() > 0 {
+				t.armRTO()
+			} else {
+				t.disarmRTO()
+			}
+		}
 	}
 	t.pump()
+}
+
+// DupAck is the receiver's immediate-acknowledgement callback for
+// out-of-order, duplicate, or hole-exposing arrivals; seq is the
+// receiver's first missing sequence. Three duplicate ACKs for the same
+// hole trigger fast retransmit and enter recovery; while recovery is in
+// progress, every advance of the receipt frontier names the next hole and
+// is retransmitted immediately — one hole per round trip, like NewReno's
+// partial-ACK retransmission (the consumption-clocked cumulative ACK may
+// lag the frontier, so the timer alone would chase already-received data).
+func (t *TCPSender) DupAck(seq uint64) {
+	if !t.Reliable || t.stopped || !t.started {
+		return
+	}
+	if seq > t.frontier {
+		t.frontier = seq
+		t.dupSeq, t.dupCount = seq, 1
+		if t.recovering {
+			t.recoveryResend(seq)
+		}
+		return
+	}
+	if seq < t.frontier || seq < t.acked {
+		return
+	}
+	if seq != t.dupSeq {
+		t.dupSeq, t.dupCount = seq, 1
+		return
+	}
+	t.dupCount++
+	if t.dupCount == 3 && !t.recovering {
+		t.recovering = true
+		t.recoverSeq = t.Seq.Sent()
+		t.FastRetransmits++
+		t.recoveryResend(seq)
+	}
+}
+
+// recoveryResend resends loss-recovery data: with a SACK scoreboard it
+// sweeps every known hole at once; without one it resends only the named
+// hole (serial NewReno recovery).
+func (t *TCPSender) recoveryResend(seq uint64) {
+	if t.Missing == nil {
+		t.retransmit(seq)
+		return
+	}
+	t.sackSweep(false)
+}
+
+// sackSweep queries the receiver's hole map and retransmits every missing
+// segment that is not already being retried. The holdoff — rtoMin since the
+// segment's last retransmission — keeps the sweep idempotent across the
+// burst of duplicate ACKs a single loss event generates, while still
+// allowing a retry when the retransmission itself was lost. An RTO-driven
+// sweep sets force: the timer expiring is proof the previous attempt
+// failed, so every known hole is resent regardless of holdoff.
+func (t *TCPSender) sackSweep(force bool) {
+	holes := t.Missing(sackBudget)
+	if len(holes) == 0 {
+		return
+	}
+	now := t.Sched.Now()
+	for _, seq := range holes {
+		if seq < t.acked {
+			continue
+		}
+		rec, ok := t.sent[seq]
+		if !ok {
+			continue
+		}
+		if !force && rec.retx && now.Sub(rec.retxAt) < rtoMin {
+			continue
+		}
+		t.retransmit(seq)
+	}
 }
 
 // Outstanding returns the segments in flight.
@@ -100,7 +267,18 @@ func (t *TCPSender) sendSegment() {
 	}
 	t.SegsSent++
 	t.BytesSent += uint64(payload)
+	var rec *segRec
+	if t.Reliable {
+		rec = &segRec{payload: payload, msgID: msgID, msgEnd: last}
+		t.sent[seq] = rec
+		if !t.rtoArmed {
+			t.armRTO()
+		}
+	}
 	t.Core.Run(cost, "tcp-send", func(end sim.Time) {
+		if rec != nil {
+			rec.sentAt = end
+		}
 		s := &skb.SKB{
 			FlowID:     t.FlowID,
 			Proto:      skb.TCP,
@@ -114,4 +292,124 @@ func (t *TCPSender) sendSegment() {
 		}
 		t.Sched.At(end.Add(t.NetDelay), func() { t.Net.Deliver(s) })
 	})
+}
+
+// retransmit resends the buffered segment at seq, if still unacknowledged.
+func (t *TCPSender) retransmit(seq uint64) {
+	rec, ok := t.sent[seq]
+	if !ok {
+		return
+	}
+	rec.retx = true
+	rec.retxAt = t.Sched.Now()
+	t.Retransmits++
+	t.SegsSent++
+	cost := t.Cost.PerSeg + sim.Duration(t.Cost.PerByte*float64(rec.payload))
+	t.Core.Run(cost, "tcp-send", func(end sim.Time) {
+		s := &skb.SKB{
+			FlowID:     t.FlowID,
+			Proto:      skb.TCP,
+			Seq:        seq,
+			Segs:       1,
+			WireLen:    rec.payload + 52,
+			PayloadLen: rec.payload,
+			MsgID:      rec.msgID,
+			MsgEnd:     rec.msgEnd,
+			SentAt:     rec.sentAt, // latency measured from first transmission
+		}
+		t.Sched.At(end.Add(t.NetDelay), func() { t.Net.Deliver(s) })
+	})
+	t.armRTO()
+}
+
+// rttSample folds one round-trip measurement into SRTT/RTTVAR (RFC 6298).
+// The sample clock is consumption-based (ACKs fire when the application
+// copies data), so the adaptive timeout automatically covers the
+// receiver's full pipeline depth.
+func (t *TCPSender) rttSample(rtt sim.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if t.srtt == 0 {
+		t.srtt = rtt
+		t.rttvar = rtt / 2
+		return
+	}
+	diff := t.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	t.rttvar = (3*t.rttvar + diff) / 4
+	t.srtt = (7*t.srtt + rtt) / 8
+}
+
+// currentRTO returns the timer duration with backoff applied.
+func (t *TCPSender) currentRTO() sim.Duration {
+	rto := t.InitialRTO
+	if t.srtt > 0 {
+		rto = t.srtt + 4*t.rttvar
+	}
+	if rto < rtoMin {
+		rto = rtoMin
+	}
+	b := t.backoff
+	if b > maxBackoff {
+		b = maxBackoff
+	}
+	rto <<= b
+	if rto > rtoMax {
+		rto = rtoMax
+	}
+	return rto
+}
+
+// armRTO (re)starts the retransmission timer for the current RTO,
+// invalidating any previously scheduled expiry (RFC 6298 restarts the
+// timer on new ACKs and on retransmission). Stale events stay in the heap
+// until their time but die on the generation check.
+func (t *TCPSender) armRTO() {
+	if !t.Reliable || t.stopped {
+		return
+	}
+	t.rtoGen++
+	t.rtoArmed = true
+	gen := t.rtoGen
+	t.Sched.After(t.currentRTO(), func() { t.onRTO(gen) })
+}
+
+// disarmRTO cancels the pending expiry (all data acknowledged).
+func (t *TCPSender) disarmRTO() {
+	t.rtoGen++
+	t.rtoArmed = false
+}
+
+func (t *TCPSender) onRTO(gen uint64) {
+	if gen != t.rtoGen || t.stopped {
+		return
+	}
+	t.rtoArmed = false
+	if t.Outstanding() == 0 {
+		return
+	}
+	t.RTOTimeouts++
+	t.recovering = true
+	t.recoverSeq = t.Seq.Sent()
+	if t.backoff < maxBackoff {
+		t.backoff++
+	}
+	// Resend the first segment the receiver is missing. The frontier
+	// (from dup ACKs) can be ahead of acked, which only tracks
+	// consumption; resending below it would be a guaranteed duplicate.
+	seq := t.acked
+	if t.frontier > seq {
+		seq = t.frontier
+	}
+	t.retransmit(seq)
+	if t.Missing != nil {
+		// With a scoreboard, recover every other known hole in the same
+		// timeout instead of one hole per expiry. The timer expiring is
+		// proof earlier attempts failed, so holdoffs are overridden.
+		t.sackSweep(true)
+	}
+	t.armRTO()
 }
