@@ -1,6 +1,9 @@
 // Command mflowbench regenerates the paper's evaluation: every measured
 // table and figure (Figs. 4, 7, 8, 9, 10, 11, 12, 13) plus the design
-// ablations, printed as aligned text tables (optionally CSV).
+// ablations, printed as aligned text tables (optionally CSV). Runs
+// execute on a parallel deterministic harness: the figure's scenario
+// matrix fans out over a worker pool, yet the output is byte-identical
+// to a serial run with the same seed.
 //
 // Examples:
 //
@@ -9,24 +12,34 @@
 //	mflowbench -fig ablations   # just the ablation studies
 //	mflowbench -measure-ms 24   # longer (more stable) measurement windows
 //	mflowbench -csv             # machine-readable output
+//	mflowbench -parallel 8      # 8 pool workers (default GOMAXPROCS)
+//	mflowbench -json out/       # also write out/BENCH_<fig>.json
+//	mflowbench -compare out/BENCH_all.json   # fail on >10% regressions
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"mflow/internal/bench"
+	"mflow/internal/harness"
 	"mflow/internal/sim"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|queues|ablations|extensions|chaos|all")
-		measure = flag.Int("measure-ms", 12, "measured window per run (simulated ms)")
-		warmup  = flag.Int("warmup-ms", 3, "warmup per run (simulated ms)")
-		seed    = flag.Uint64("seed", 42, "simulation seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fig       = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|queues|ablations|extensions|chaos|all")
+		measure   = flag.Int("measure-ms", 12, "measured window per run (simulated ms)")
+		warmup    = flag.Int("warmup-ms", 3, "warmup per run (simulated ms)")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel  = flag.Int("parallel", harness.DefaultWorkers(), "worker-pool width (1 = serial; output is identical either way)")
+		jsonDir   = flag.String("json", "", "directory to write BENCH_<fig>.json artifact into")
+		compare   = flag.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on regressions")
+		tolerance = flag.Float64("tolerance", 0.10, "relative throughput drop tolerated by -compare")
 	)
 	flag.Parse()
 
@@ -34,39 +47,17 @@ func main() {
 	r.Warmup = sim.Duration(*warmup) * sim.Millisecond
 	r.Measure = sim.Duration(*measure) * sim.Millisecond
 	r.Seed = *seed
+	r.Parallel = *parallel
 
-	var tables []*bench.Table
-	switch *fig {
-	case "4":
-		tables = r.Fig4()
-	case "7":
-		tables = []*bench.Table{r.Fig7()}
-	case "8":
-		tables = r.Fig8()
-	case "9":
-		tables = r.Fig9()
-	case "10":
-		tables = r.Fig10()
-	case "11":
-		tables = r.Fig11()
-	case "12":
-		tables = []*bench.Table{r.Fig12()}
-	case "13":
-		tables = []*bench.Table{r.Fig13()}
-	case "queues":
-		tables = []*bench.Table{r.Queues()}
-	case "ablations":
-		tables = r.Ablations()
-	case "extensions":
-		tables = r.Extensions()
-	case "chaos":
-		tables = r.Chaos()
-	case "all":
-		tables = r.All()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+	start := time.Now()
+	tables, err := r.Tables(*fig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Timing goes to stderr only: stdout and the JSON artifact must be
+	// byte-identical across worker counts.
+	fmt.Fprintf(os.Stderr, "mflowbench: fig=%s workers=%d wall=%s\n", *fig, *parallel, time.Since(start).Round(time.Millisecond))
 
 	for _, t := range tables {
 		if *csv {
@@ -74,5 +65,48 @@ func main() {
 		} else {
 			fmt.Println(t.Render())
 		}
+	}
+
+	var artifact *bench.Artifact
+	if *jsonDir != "" || *compare != "" {
+		artifact = r.Artifact(*fig, tables)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		path := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", *fig))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := artifact.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mflowbench: wrote %s (%d runs, %d app runs)\n", path, len(artifact.Runs), len(artifact.Apps))
+	}
+	if *compare != "" {
+		baseline, err := bench.LoadArtifact(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		regs := bench.Compare(baseline, artifact, *tolerance)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "mflowbench: %d regression(s) beyond %.0f%% vs %s:\n", len(regs), 100**tolerance, *compare)
+			for _, g := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", g)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mflowbench: no regressions beyond %.0f%% vs %s\n", 100**tolerance, *compare)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mflow/internal/harness"
 	"mflow/internal/overlay"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
@@ -36,13 +37,14 @@ func parseInts(s string) ([]int, error) {
 
 func main() {
 	var (
-		proto   = flag.String("proto", "tcp", "transport: tcp|udp")
-		size    = flag.Int("size", 65536, "message size in bytes")
-		batches = flag.String("batches", "1,16,64,256,1024", "comma-separated batch sizes")
-		cores   = flag.String("cores", "1,2,3,4", "comma-separated splitting-core counts")
-		kcores  = flag.Int("kernel-cores", 10, "kernel core pool")
-		measure = flag.Int("measure-ms", 12, "measured window (simulated ms)")
-		seed    = flag.Uint64("seed", 42, "simulation seed")
+		proto    = flag.String("proto", "tcp", "transport: tcp|udp")
+		size     = flag.Int("size", 65536, "message size in bytes")
+		batches  = flag.String("batches", "1,16,64,256,1024", "comma-separated batch sizes")
+		cores    = flag.String("cores", "1,2,3,4", "comma-separated splitting-core counts")
+		kcores   = flag.Int("kernel-cores", 10, "kernel core pool")
+		measure  = flag.Int("measure-ms", 12, "measured window (simulated ms)")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		parallel = flag.Int("parallel", harness.DefaultWorkers(), "worker-pool width (1 = serial; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -61,25 +63,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Println("proto,msg_size,batch,split_cores,gbps,msg_per_sec,p50_us,p99_us,ooo_deliveries,merge_switches,gro_factor,drops")
+	// The grid fans out over the harness pool; results come back in
+	// submission order, so the CSV rows are identical at any -parallel.
+	type cell struct{ batch, cores int }
+	var grid []cell
 	for _, b := range bs {
 		for _, c := range cs {
-			res := overlay.Run(overlay.Scenario{
-				System:      steering.MFlow,
-				Proto:       p,
-				MsgSize:     *size,
-				KernelCores: *kcores,
-				Seed:        *seed,
-				Warmup:      3 * sim.Millisecond,
-				Measure:     sim.Duration(*measure) * sim.Millisecond,
-				MFlow:       overlay.MFlowConfig{BatchSize: b, SplitCores: c},
-			})
-			fmt.Printf("%s,%d,%d,%d,%.3f,%.0f,%.1f,%.1f,%d,%d,%.1f,%d\n",
-				p, *size, b, c,
-				res.Gbps, res.MsgPerSec,
-				float64(res.Latency.Median())/1000, float64(res.Latency.P99())/1000,
-				res.OOOSKBs, res.ReassemblySwitches, res.GROFactor,
-				res.DropsRing+res.DropsBacklog+res.DropsSock)
+			grid = append(grid, cell{b, c})
 		}
+	}
+	results := harness.Map(*parallel, grid, func(_ int, g cell) *overlay.Result {
+		return overlay.Run(overlay.Scenario{
+			System:      steering.MFlow,
+			Proto:       p,
+			MsgSize:     *size,
+			KernelCores: *kcores,
+			Seed:        *seed,
+			Warmup:      3 * sim.Millisecond,
+			Measure:     sim.Duration(*measure) * sim.Millisecond,
+			MFlow:       overlay.MFlowConfig{BatchSize: g.batch, SplitCores: g.cores},
+		})
+	})
+
+	fmt.Println("proto,msg_size,batch,split_cores,gbps,msg_per_sec,p50_us,p99_us,ooo_deliveries,merge_switches,gro_factor,drops")
+	for i, res := range results {
+		fmt.Printf("%s,%d,%d,%d,%.3f,%.0f,%.1f,%.1f,%d,%d,%.1f,%d\n",
+			p, *size, grid[i].batch, grid[i].cores,
+			res.Gbps, res.MsgPerSec,
+			float64(res.Latency.Median())/1000, float64(res.Latency.P99())/1000,
+			res.OOOSKBs, res.ReassemblySwitches, res.GROFactor,
+			res.DropsRing+res.DropsBacklog+res.DropsSock)
 	}
 }

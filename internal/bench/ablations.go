@@ -23,11 +23,34 @@ func (r *Runner) Ablations() []*Table {
 }
 
 func (r *Runner) mflowTCP(m overlay.MFlowConfig) *overlay.Result {
-	return r.run(overlay.Scenario{System: steering.MFlow, Proto: skb.TCP, MsgSize: 65536, MFlow: m})
+	return r.run(mflowScenario(skb.TCP, m))
 }
 
 func (r *Runner) mflowUDP(m overlay.MFlowConfig) *overlay.Result {
-	return r.run(overlay.Scenario{System: steering.MFlow, Proto: skb.UDP, MsgSize: 65536, MFlow: m})
+	return r.run(mflowScenario(skb.UDP, m))
+}
+
+func mflowScenario(proto skb.Proto, m overlay.MFlowConfig) overlay.Scenario {
+	return overlay.Scenario{System: steering.MFlow, Proto: proto, MsgSize: 65536, MFlow: m}
+}
+
+// The ablation sweeps, shared with the prefetch plans (plan.go).
+var (
+	ablationSplitCores = []int{1, 2, 3, 4}
+	ablationCompletion = []int{1, 8, 32, 128, 512}
+)
+
+// completionScenario is the driver completion-batching ablation cell: one
+// splitting core isolates the skb-allocation stage so the update cost is
+// visible against it.
+func completionScenario(n int) overlay.Scenario {
+	costs := overlay.DefaultCosts()
+	costs.CompletionEvery = n
+	return overlay.Scenario{
+		System: steering.MFlow, Proto: skb.TCP, MsgSize: 65536,
+		MFlow: overlay.MFlowConfig{SplitCores: 1},
+		Costs: costs,
+	}
 }
 
 // AblationReassembly compares MFLOW's batch-based reassembler against the
@@ -88,7 +111,7 @@ func (r *Runner) AblationSplitCores() *Table {
 	t := &Table{ID: "ablation-cores", Title: "Splitting-core count (UDP 64KB, device scaling)"}
 	t.Columns = []string{"split cores", "Gbps", "gain vs previous"}
 	prev := 0.0
-	for _, n := range []int{1, 2, 3, 4} {
+	for _, n := range ablationSplitCores {
 		res := r.mflowUDP(overlay.MFlowConfig{SplitCores: n})
 		gain := "-"
 		if prev > 0 {
@@ -106,16 +129,8 @@ func (r *Runner) AblationSplitCores() *Table {
 func (r *Runner) AblationCompletion() *Table {
 	t := &Table{ID: "ablation-completion", Title: "Driver completion-update batching (TCP 64KB, IRQ-splitting)"}
 	t.Columns = []string{"update every N requests", "Gbps"}
-	for _, n := range []int{1, 8, 32, 128, 512} {
-		costs := overlay.DefaultCosts()
-		costs.CompletionEvery = n
-		// One splitting core isolates the skb-allocation stage so the
-		// update cost is visible against it.
-		res := r.run(overlay.Scenario{
-			System: steering.MFlow, Proto: skb.TCP, MsgSize: 65536,
-			MFlow: overlay.MFlowConfig{SplitCores: 1},
-			Costs: costs,
-		})
+	for _, n := range ablationCompletion {
+		res := r.run(completionScenario(n))
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), gbps(res.Gbps)})
 	}
 	t.Notes = append(t.Notes, "Per-request updates serialize on the driver state; batching (default 128) amortizes them.")

@@ -6,9 +6,7 @@ import (
 
 	"mflow/internal/apps"
 	"mflow/internal/metrics"
-	"mflow/internal/obs"
 	"mflow/internal/overlay"
-	"mflow/internal/sim"
 	"mflow/internal/skb"
 	"mflow/internal/steering"
 )
@@ -16,57 +14,31 @@ import (
 // MsgSizes is the message-size sweep of the paper's Figs. 4, 8 and 9.
 var MsgSizes = []int{16, 1024, 4096, 65536}
 
-// Runner executes and caches scenario runs so figures sharing sweeps
-// (4/8/9) pay for them once.
-type Runner struct {
-	// Warmup / Measure control run windows (defaults 3ms / 12ms; use
-	// longer windows for final numbers).
-	Warmup  sim.Duration
-	Measure sim.Duration
-	// Seed fixes all runs.
-	Seed uint64
-	// Observe attaches a fresh obs.Registry to every run (NewRunner
-	// enables it), so figure results carry queue-depth and per-stage
-	// latency series alongside Gbps — see Queues().
-	Observe bool
+// The figure matrices below are shared between the figure builders and
+// the prefetch plans (plan.go); TestPlansCoverFigures keeps them honest.
+var (
+	// fig4Systems is the paper's state of the art — everything but MFLOW.
+	fig4Systems = []steering.System{steering.Native, steering.Vanilla, steering.RPS, steering.FalconDev, steering.FalconFunc}
+	// fig7Batches is Fig. 7's micro-flow batch-size sweep.
+	fig7Batches = []int{1, 4, 16, 64, 256, 1024, 4096}
+	// fig10Sizes / fig10Flows / fig10Systems span Fig. 10's multi-flow grid.
+	fig10Sizes   = []int{16, 4096, 65536}
+	fig10Flows   = []int{1, 5, 10, 15, 20}
+	fig10Systems = []steering.System{steering.Vanilla, steering.FalconDev, steering.MFlow}
+	// appSystems are the systems the application benchmarks compare.
+	appSystems = []steering.System{steering.Vanilla, steering.FalconDev, steering.MFlow}
+	// fig12Systems is the CPU-balance comparison pair.
+	fig12Systems = []steering.System{steering.FalconDev, steering.MFlow}
+	// fig13Clients is the data-caching client sweep.
+	fig13Clients = []int{1, 5, 10}
+)
 
-	cache map[string]*overlay.Result
-}
-
-// NewRunner returns a Runner with default windows and observability on.
-func NewRunner() *Runner {
-	return &Runner{Warmup: 3 * sim.Millisecond, Measure: 12 * sim.Millisecond, Observe: true}
-}
-
-func (r *Runner) run(sc overlay.Scenario) *overlay.Result {
-	if sc.Warmup == 0 {
-		sc.Warmup = r.Warmup
+// fig10Scenario is the shared multi-flow scenario shape of Figs. 10/12.
+func fig10Scenario(sys steering.System, size, flows int) overlay.Scenario {
+	return overlay.Scenario{
+		System: sys, Proto: skb.TCP, MsgSize: size,
+		Flows: flows, KernelCores: 10, AppCores: 5,
 	}
-	if sc.Measure == 0 {
-		sc.Measure = r.Measure
-	}
-	if sc.Seed == 0 {
-		sc.Seed = r.Seed
-	}
-	// The cache key is computed before a registry is attached: a fresh
-	// registry pointer per run must not defeat caching.
-	key := fmt.Sprintf("%+v", sc) // full scenario (pointers included) keys the cache
-	if r.cache == nil {
-		r.cache = make(map[string]*overlay.Result)
-	}
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	if r.Observe && sc.Obs == nil {
-		sc.Obs = obs.New()
-	}
-	res := overlay.Run(sc)
-	r.cache[key] = res
-	return res
-}
-
-func (r *Runner) single(sys steering.System, proto skb.Proto, size int) *overlay.Result {
-	return r.run(overlay.Scenario{System: sys, Proto: proto, MsgSize: size})
 }
 
 func sizeLabel(n int) string {
@@ -124,7 +96,7 @@ func splitLines(s string) []string {
 // Fig4 reproduces Fig. 4: single-flow throughput and CPU utilization of the
 // state-of-the-art systems (no MFLOW yet — that is Fig. 8).
 func (r *Runner) Fig4() []*Table {
-	systems := []steering.System{steering.Native, steering.Vanilla, steering.RPS, steering.FalconDev, steering.FalconFunc}
+	systems := fig4Systems
 	tcp := r.throughputTable("fig4a-tcp", "Single-flow TCP throughput, state of the art", skb.TCP, systems)
 	udp := r.throughputTable("fig4a-udp", "Single-flow UDP throughput, state of the art (3 clients)", skb.UDP, systems)
 
@@ -149,7 +121,7 @@ func (r *Runner) Fig4() []*Table {
 func (r *Runner) Fig7() *Table {
 	t := &Table{ID: "fig7", Title: "Out-of-order delivery vs micro-flow batch size (TCP 64KB)"}
 	t.Columns = []string{"batch size", "OOO deliveries", "OOO segments", "reassembly switches", "throughput (Gbps)"}
-	for _, b := range []int{1, 4, 16, 64, 256, 1024, 4096} {
+	for _, b := range fig7Batches {
 		res := r.run(overlay.Scenario{
 			System: steering.MFlow, Proto: skb.TCP, MsgSize: 65536,
 			MFlow: overlay.MFlowConfig{BatchSize: b},
@@ -232,10 +204,10 @@ func (r *Runner) Fig9() []*Table {
 // Fig10 reproduces Fig. 10: multi-flow TCP throughput (5 app cores, 10
 // kernel cores) for 16B / 4KB / 64KB messages.
 func (r *Runner) Fig10() []*Table {
-	flowCounts := []int{1, 5, 10, 15, 20}
-	systems := []steering.System{steering.Vanilla, steering.FalconDev, steering.MFlow}
+	flowCounts := fig10Flows
+	systems := fig10Systems
 	var tables []*Table
-	for _, size := range []int{16, 4096, 65536} {
+	for _, size := range fig10Sizes {
 		t := &Table{
 			ID:    fmt.Sprintf("fig10-%s", sizeLabel(size)),
 			Title: fmt.Sprintf("Multi-flow TCP aggregate throughput, %s messages (Gbps)", sizeLabel(size)),
@@ -247,11 +219,7 @@ func (r *Runner) Fig10() []*Table {
 		for _, n := range flowCounts {
 			row := []string{fmt.Sprintf("%d", n)}
 			for _, s := range systems {
-				res := r.run(overlay.Scenario{
-					System: s, Proto: skb.TCP, MsgSize: size,
-					Flows: n, KernelCores: 10, AppCores: 5,
-				})
-				row = append(row, gbps(res.Gbps))
+				row = append(row, gbps(r.run(fig10Scenario(s, size, n)).Gbps))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -267,11 +235,8 @@ func (r *Runner) Fig10() []*Table {
 func (r *Runner) Fig12() *Table {
 	t := &Table{ID: "fig12", Title: "CPU load balance, 10 flows x 64KB TCP on 10 kernel cores"}
 	t.Columns = []string{"system", "kernel CPU total (%)", "stddev (pp)", "throughput (Gbps)"}
-	for _, s := range []steering.System{steering.FalconDev, steering.MFlow} {
-		res := r.run(overlay.Scenario{
-			System: s, Proto: skb.TCP, MsgSize: 65536,
-			Flows: 10, KernelCores: 10, AppCores: 5,
-		})
+	for _, s := range fig12Systems {
+		res := r.run(fig10Scenario(s, 65536, 10))
 		t.Rows = append(t.Rows, []string{
 			s.String(),
 			fmt.Sprintf("%.0f", res.KernelCPUTotal),
@@ -287,14 +252,10 @@ func (r *Runner) Fig12() *Table {
 // Fig11 reproduces Fig. 11: the web-serving benchmark (success operation
 // rate, response time, delay time per operation type).
 func (r *Runner) Fig11() []*Table {
-	systems := []steering.System{steering.Vanilla, steering.FalconDev, steering.MFlow}
+	systems := appSystems
 	results := map[steering.System]*apps.WebResult{}
 	for _, s := range systems {
-		results[s] = apps.RunWebServing(apps.WebConfig{
-			System: s,
-			Warmup: r.Warmup, Measure: 2 * r.Measure,
-			Seed: r.Seed,
-		})
+		results[s] = r.web(s)
 	}
 	ops := results[systems[0]].Ops
 
@@ -335,19 +296,15 @@ func (r *Runner) Fig11() []*Table {
 // average and 99th-percentile latency for 1-10 clients.
 func (r *Runner) Fig13() *Table {
 	t := &Table{ID: "fig13", Title: "Data caching (memcached): request latency (avg / p99, µs)"}
-	systems := []steering.System{steering.Vanilla, steering.FalconDev, steering.MFlow}
+	systems := appSystems
 	t.Columns = []string{"clients"}
 	for _, s := range systems {
 		t.Columns = append(t.Columns, s.String())
 	}
-	for _, n := range []int{1, 5, 10} {
+	for _, n := range fig13Clients {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, s := range systems {
-			res := apps.RunDataCaching(apps.CachingConfig{
-				System: s, Clients: n,
-				Warmup: r.Warmup, Measure: r.Measure,
-				Seed: r.Seed,
-			})
+			res := r.caching(s, n)
 			row = append(row, fmt.Sprintf("%.0f/%.0f",
 				float64(res.Avg)/1000, float64(res.P99)/1000))
 		}
@@ -393,12 +350,9 @@ func queueStats(res *overlay.Result) (ringP99, ringMax int64, worst string, wors
 func (r *Runner) Queues() *Table {
 	t := &Table{ID: "queues", Title: "Sampled queue occupancy at 64KB (p99/max depth over the measured window)"}
 	t.Columns = []string{"system", "proto", "Gbps", "ring p99/max", "hottest backlog", "backlog p99/max"}
-	observe := r.Observe
-	r.Observe = true
-	defer func() { r.Observe = observe }()
 	for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
 		for _, s := range steering.Systems {
-			res := r.single(s, proto, 65536)
+			res := r.runObserved(overlay.Scenario{System: s, Proto: proto, MsgSize: 65536})
 			ringP99, ringMax, worst, wP99, wMax := queueStats(res)
 			t.Rows = append(t.Rows, []string{
 				s.String(), proto.String(), gbps(res.Gbps),

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+)
+
+// splitmix64 is the interleaving PRNG: the fuzzer mutates its seed, not
+// the interleave itself, so every byte of input is load-bearing.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fuzzStream is a generated reassembler workload: a split flow's skbs in
+// the per-queue FIFO order the splitting cores would emit them, plus the
+// fault decisions applied to it.
+type fuzzStream struct {
+	numQueues int
+	batch     int
+	allowGaps bool
+	useTimer  bool
+	tagged    bool
+	// queues[i] is queue i's arrival stream (FIFO per splitting core —
+	// the contract the real pipeline guarantees).
+	queues [][]*skb.SKB
+	// arrivals is how many skbs the stream feeds in total.
+	arrivals int
+	// totalSegs is the wire-segment count of the lossless stream.
+	totalSegs uint64
+	// drops / dups count the faults injected (gap mode only).
+	drops, dups int
+}
+
+// buildStream decodes fuzz bytes into a workload that honors the
+// reassembler's input contract: micro-flow IDs are Seq/batch+1 (the
+// Splitter's stamp), each micro-flow travels one queue, and every queue
+// is FIFO. Without allowGaps the stream is lossless — the mode where
+// Strict must hold; with allowGaps, drops and duplicated (retransmitted)
+// skbs are injected.
+func buildStream(data []byte) *fuzzStream {
+	if len(data) < 11 {
+		return nil
+	}
+	st := &fuzzStream{
+		numQueues: 1 + int(data[0]%4),
+		batch:     1 + int(data[1]%8),
+		allowGaps: data[2]&1 != 0,
+		useTimer:  data[2]&2 != 0,
+		tagged:    data[2]&4 != 0,
+	}
+	var seed splitmix64
+	for i := 0; i < 8; i++ {
+		seed = splitmix64(uint64(seed)<<8 | uint64(data[3+i]))
+	}
+	rng := seed
+
+	// Segment-size bytes: each remaining byte becomes one skb covering
+	// 1..4 wire segments (GRO super-packets straddle batch boundaries).
+	body := data[11:]
+	if len(body) > 512 {
+		body = body[:512] // cap the stream so one input stays fast
+	}
+	st.queues = make([][]*skb.SKB, st.numQueues)
+	seq := uint64(0)
+	for _, b := range body {
+		segs := 1 + int(b%4)
+		mf := seq/uint64(st.batch) + 1
+		s := &skb.SKB{
+			FlowID: 1, Seq: seq, Segs: segs, PayloadLen: segs * 1448,
+			MicroFlow: mf, Branch: int((mf - 1) % uint64(st.numQueues)),
+		}
+		seq += uint64(segs)
+		st.totalSegs += uint64(segs)
+
+		if st.allowGaps && rng.next()%8 == 0 {
+			st.drops++ // lost upstream: never reaches the merge point
+			continue
+		}
+		qi := s.Branch
+		st.queues[qi] = append(st.queues[qi], s)
+		st.arrivals++
+		if st.allowGaps && rng.next()%16 == 0 {
+			// A retransmission: the same data arrives again later on the
+			// same queue (copied — the reassembler may hold both).
+			dup := *s
+			st.queues[qi] = append(st.queues[qi], &dup)
+			st.arrivals++
+			st.dups++
+		}
+	}
+	if st.arrivals == 0 {
+		return nil
+	}
+	return st
+}
+
+// interleave merges the per-queue streams into one arrival order, PRNG-
+// driven but FIFO within each queue — exactly the nondeterminism the
+// parallel splitting cores introduce.
+func (st *fuzzStream) interleave(rng *splitmix64) []*skb.SKB {
+	heads := make([]int, st.numQueues)
+	out := make([]*skb.SKB, 0, st.arrivals)
+	for len(out) < st.arrivals {
+		qi := int(rng.next() % uint64(st.numQueues))
+		for heads[qi] >= len(st.queues[qi]) {
+			qi = (qi + 1) % st.numQueues
+		}
+		out = append(out, st.queues[qi][heads[qi]])
+		heads[qi]++
+	}
+	return out
+}
+
+// FuzzReassembler drives the batch reassembler with generated split
+// streams — random skb sizes, queue interleavings, duplication and gap
+// patterns — and checks its core contract: it never panics, conserves
+// every skb exactly once (through delivery or Flush), and delivers an
+// in-order stream whose only inversions are the explicitly accounted
+// fault paths (stale retransmissions, hole releases, duplicates).
+func FuzzReassembler(f *testing.F) {
+	// Seed corpus: the chaos-profile shapes. Bytes are
+	// [queues, batch, flags, seed×8, segment sizes...].
+	f.Add([]byte{2, 4, 0, 1, 2, 3, 4, 5, 6, 7, 8, 0, 1, 2, 3, 0, 1, 2, 3})        // lossless, strict
+	f.Add([]byte{3, 3, 1, 9, 9, 9, 9, 9, 9, 9, 9, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})  // random loss + dup
+	f.Add([]byte{4, 8, 3, 0, 0, 0, 0, 0, 0, 0, 42, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}) // burst loss + gap timer
+	f.Add([]byte{2, 5, 4, 7, 7, 7, 7, 7, 7, 7, 7, 2, 0, 2, 0, 2, 0, 2, 0})        // tag-routed lossless
+	f.Add([]byte{1, 1, 5, 8, 8, 8, 8, 8, 8, 8, 8, 0, 0, 0, 0})                    // single queue, gaps
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := buildStream(data)
+		if st == nil {
+			t.Skip("input too small to form a stream")
+		}
+		var rng splitmix64
+		for i := 0; i < 8; i++ {
+			rng = splitmix64(uint64(rng)<<8 | uint64(data[3+i]))
+		}
+		rng = splitmix64(uint64(rng) ^ 0xa5a5a5a5a5a5a5a5)
+		arrivals := st.interleave(&rng)
+
+		var delivered []*skb.SKB
+		r := NewReassembler(st.numQueues, st.batch, func(s *skb.SKB) {
+			delivered = append(delivered, s)
+		})
+		r.AllowGaps = st.allowGaps
+		r.Strict = !st.allowGaps // lossless streams must satisfy the strict invariants
+		r.TagRouting = st.tagged
+
+		var sched *sim.Scheduler
+		if st.useTimer && st.allowGaps {
+			sched = sim.NewScheduler(1)
+			r.Sched = sched
+			r.GapTimeout = 50 * sim.Microsecond
+		}
+
+		feed := func() {
+			for _, s := range arrivals {
+				if err := r.Arrive(s); err != nil {
+					t.Fatalf("Arrive(%v): %v", s, err)
+				}
+			}
+		}
+		if sched != nil {
+			// Arrivals spaced in simulated time so the gap timer can fire
+			// between them.
+			at := sim.Time(0)
+			for _, s := range arrivals {
+				s := s
+				sched.At(at, func() {
+					if err := r.Arrive(s); err != nil {
+						t.Fatalf("Arrive(%v): %v", s, err)
+					}
+				})
+				at = at.Add(sim.Duration(rng.next() % 20e3)) // 0–20µs apart
+			}
+			sched.Run()
+		} else {
+			feed()
+		}
+
+		// Conservation before Flush: nothing vanished, nothing doubled.
+		if len(delivered)+r.Buffered() != st.arrivals {
+			t.Fatalf("delivered %d + buffered %d != arrivals %d",
+				len(delivered), r.Buffered(), st.arrivals)
+		}
+		r.Flush()
+		if len(delivered) != st.arrivals {
+			t.Fatalf("after Flush: delivered %d != arrivals %d", len(delivered), st.arrivals)
+		}
+		seen := make(map[*skb.SKB]bool, len(delivered))
+		for _, s := range delivered {
+			if seen[s] {
+				t.Fatalf("skb %v delivered twice", s)
+			}
+			seen[s] = true
+		}
+
+		// Order: inversions only on the accounted fault paths. In the
+		// lossless mode that bound is zero, which makes the stream fully
+		// in-order; contiguity is then checked exactly.
+		inversions := uint64(0)
+		for i := 1; i < len(delivered); i++ {
+			if delivered[i].Seq < delivered[i-1].Seq {
+				inversions++
+			}
+		}
+		allowed := r.StaleSKBs + r.HolesReleased + uint64(st.dups)
+		if inversions > allowed {
+			t.Fatalf("%d order inversions, only %d accounted (stale=%d holes=%d dups=%d)",
+				inversions, allowed, r.StaleSKBs, r.HolesReleased, st.dups)
+		}
+		if !st.allowGaps {
+			if r.Errors != 0 {
+				t.Fatalf("lossless stream recorded %d violations, first: %v", r.Errors, r.FirstErr)
+			}
+			if r.DeliveredSegments != st.totalSegs {
+				t.Fatalf("DeliveredSegments = %d, want %d", r.DeliveredSegments, st.totalSegs)
+			}
+			for i, s := range delivered {
+				want := uint64(0)
+				if i > 0 {
+					want = delivered[i-1].EndSeq()
+				}
+				if s.Seq != want {
+					t.Fatalf("delivery %d: seq %d, want contiguous %d", i, s.Seq, want)
+				}
+			}
+		}
+	})
+}

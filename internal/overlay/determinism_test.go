@@ -1,0 +1,85 @@
+package overlay
+
+import (
+	"testing"
+
+	"mflow/internal/fault"
+	"mflow/internal/harness"
+	"mflow/internal/obs"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+)
+
+// determinismScenario is one cell of the cross-cutting matrix: short
+// windows (the property is bit-equality, not statistical stability) and
+// an obs registry so the fingerprint covers every counter the
+// observability layer exports, not just the headline numbers.
+func determinismScenario(sys steering.System, proto skb.Proto) Scenario {
+	return Scenario{
+		System: sys, Proto: proto, MsgSize: 65536,
+		Warmup: 1e6, Measure: 2e6, // 1ms + 2ms simulated
+		Seed: 42,
+		Obs:  obs.New(),
+	}
+}
+
+// TestMatrixDeterminism runs every steering system × protocol twice with the
+// same seed and requires bit-identical results — throughput, latency
+// quantiles, CPU samples and the full obs snapshot — then a third time
+// through the parallel harness pool, which must change nothing: Run is a
+// pure function of its Scenario, no matter which goroutine calls it.
+func TestMatrixDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full system matrix three times")
+	}
+	type cell struct {
+		sys   steering.System
+		proto skb.Proto
+	}
+	var cells []cell
+	for _, sys := range steering.ExtendedSystems {
+		for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+			cells = append(cells, cell{sys, proto})
+		}
+	}
+
+	first := make([]string, len(cells))
+	for i, c := range cells {
+		first[i] = Run(determinismScenario(c.sys, c.proto)).Fingerprint()
+	}
+	for i, c := range cells {
+		if fp := Run(determinismScenario(c.sys, c.proto)).Fingerprint(); fp != first[i] {
+			t.Errorf("%s/%s: second serial run diverged from the first:\n--- first ---\n%s\n--- second ---\n%s",
+				c.sys, c.proto, first[i], fp)
+		}
+	}
+
+	parallel := harness.Map(8, cells, func(_ int, c cell) string {
+		return Run(determinismScenario(c.sys, c.proto)).Fingerprint()
+	})
+	for i, c := range cells {
+		if parallel[i] != first[i] {
+			t.Errorf("%s/%s: run under the 8-worker harness diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				c.sys, c.proto, first[i], parallel[i])
+		}
+	}
+}
+
+// TestFaultRunDeterminism covers the fault-injected paths: the injector's
+// RNG must be derived from the scenario seed, so lossy runs repeat
+// bit-identically too.
+func TestFaultRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the chaos profiles twice")
+	}
+	for name, plan := range fault.ChaosProfiles() {
+		sc := determinismScenario(steering.MFlow, skb.TCP)
+		sc.Faults = plan
+		a := Run(sc).Fingerprint()
+		sc2 := determinismScenario(steering.MFlow, skb.TCP)
+		sc2.Faults = plan
+		if b := Run(sc2).Fingerprint(); a != b {
+			t.Errorf("profile %s: fault-injected run not deterministic:\n--- first ---\n%s\n--- second ---\n%s", name, a, b)
+		}
+	}
+}

@@ -2,9 +2,11 @@ package overlay
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"mflow/internal/fault"
+	"mflow/internal/harness"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
 	"mflow/internal/steering"
@@ -26,30 +28,52 @@ func chaosScenario(sys steering.System, proto skb.Proto, plan *fault.Plan) Scena
 
 // TestChaosMatrix is the acceptance harness: every system × protocol ×
 // fault profile must finish (no panic), keep delivering (no stalled flow),
-// and — for TCP — preserve in-order delivery to the application.
+// and — for TCP — preserve in-order delivery to the application. The whole
+// matrix executes concurrently on the harness pool (runs are independent
+// pure functions of their scenario); results come back in submission
+// order, so the subtests report deterministically.
 func TestChaosMatrix(t *testing.T) {
+	profiles := chaosProfiles()
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type cell struct {
+		sys   steering.System
+		proto skb.Proto
+		name  string
+	}
+	var cells []cell
 	for _, sys := range steering.ExtendedSystems {
 		for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
-			for name, plan := range chaosProfiles() {
-				t.Run(fmt.Sprintf("%s/%s/%s", sys, proto, name), func(t *testing.T) {
-					r := Run(chaosScenario(sys, proto, plan))
-					if r.DeliveredSegments == 0 {
-						t.Fatal("flow stalled: nothing delivered in the measured window")
-					}
-					if r.FaultsInjected == 0 {
-						t.Fatal("injector idle: the fault plan was not wired")
-					}
-					if proto == skb.TCP {
-						if r.DeliveredOutOfOrder != 0 {
-							t.Fatalf("TCP delivered %d skbs out of order", r.DeliveredOutOfOrder)
-						}
-						if r.Retransmits == 0 {
-							t.Fatal("lossy TCP run recovered nothing: retransmission not wired")
-						}
-					}
-				})
+			for _, name := range names {
+				cells = append(cells, cell{sys, proto, name})
 			}
 		}
+	}
+	results := harness.Map(8, cells, func(_ int, c cell) *Result {
+		return Run(chaosScenario(c.sys, c.proto, profiles[c.name]))
+	})
+	for i, c := range cells {
+		r := results[i]
+		t.Run(fmt.Sprintf("%s/%s/%s", c.sys, c.proto, c.name), func(t *testing.T) {
+			if r.DeliveredSegments == 0 {
+				t.Fatal("flow stalled: nothing delivered in the measured window")
+			}
+			if r.FaultsInjected == 0 {
+				t.Fatal("injector idle: the fault plan was not wired")
+			}
+			if c.proto == skb.TCP {
+				if r.DeliveredOutOfOrder != 0 {
+					t.Fatalf("TCP delivered %d skbs out of order", r.DeliveredOutOfOrder)
+				}
+				if r.Retransmits == 0 {
+					t.Fatal("lossy TCP run recovered nothing: retransmission not wired")
+				}
+			}
+		})
 	}
 }
 

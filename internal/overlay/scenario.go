@@ -207,6 +207,39 @@ func (sc Scenario) withDefaults() Scenario {
 	return sc
 }
 
+// Key renders a stable identity for the scenario's measured
+// configuration: every field that can change a run's outcome, by value
+// (Costs and Faults dereferenced, so two scenarios built from separate
+// but equal cost tables share a key across processes), with the pure
+// observability attachments — Obs, Tracer, CoreLog, Capture — excluded:
+// attaching a fresh registry must not change a scenario's identity.
+// Two scenarios with equal keys produce identical Results; the bench
+// cache and the BENCH_*.json baseline comparison both key on it.
+func (sc Scenario) Key() string {
+	costs := ""
+	if sc.Costs != nil {
+		costs = fmt.Sprintf("%+v", *sc.Costs)
+	}
+	faults := ""
+	if sc.Faults != nil {
+		f := *sc.Faults
+		if f.Wire.Burst != nil {
+			burst := *f.Wire.Burst
+			f.Wire.Burst = nil
+			faults = fmt.Sprintf("%+v burst=%+v", f, burst)
+		} else {
+			faults = fmt.Sprintf("%+v", f)
+		}
+	}
+	sc.Costs = nil
+	sc.Faults = nil
+	sc.Obs = nil
+	sc.Tracer = nil
+	sc.CoreLog = nil
+	sc.Capture = nil
+	return fmt.Sprintf("%+v|costs={%s}|faults={%s}", sc, costs, faults)
+}
+
 // Name renders a compact scenario identifier.
 func (sc Scenario) Name() string {
 	return fmt.Sprintf("%s/%s/%s/flows=%d", sc.System, sc.Proto, sizeLabel(sc.MsgSize), sc.Flows)
