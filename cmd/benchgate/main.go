@@ -1,0 +1,69 @@
+// Command benchgate compares a `go test -bench` run against a committed
+// baseline and exits non-zero on regressions: time/op beyond the tolerance,
+// or any allocs/op increase (the engine's allocation discipline is exact).
+//
+// Typical CI usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/sim/ > current.txt
+//	benchgate -baseline bench_baseline.txt -current current.txt
+//
+// Refresh the baseline by committing a new redirect of the same command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mflow/internal/benchgate"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "bench_baseline.txt", "committed baseline (`go test -bench` output)")
+		curPath   = flag.String("current", "-", "current run to check ('-' reads stdin)")
+		tolerance = flag.Float64("tolerance", 0.20, "relative time/op increase tolerated")
+	)
+	flag.Parse()
+
+	baseline, err := parseFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	current, err := parseFile(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmarks in baseline %s\n", *basePath)
+		os.Exit(2)
+	}
+
+	benchgate.Report(os.Stdout, baseline, current)
+	regs := benchgate.Compare(baseline, current, *tolerance)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s:\n", len(regs), *basePath)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within tolerance (time +%.0f%%, allocs exact)\n",
+		len(baseline), *tolerance*100)
+}
+
+func parseFile(path string) (map[string]benchgate.Result, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return benchgate.Parse(r)
+}

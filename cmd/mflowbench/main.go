@@ -26,6 +26,7 @@ import (
 
 	"mflow/internal/bench"
 	"mflow/internal/harness"
+	"mflow/internal/prof"
 	"mflow/internal/sim"
 )
 
@@ -40,8 +41,16 @@ func main() {
 		jsonDir   = flag.String("json", "", "directory to write BENCH_<fig>.json artifact into")
 		compare   = flag.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on regressions")
 		tolerance = flag.Float64("tolerance", 0.10, "relative throughput drop tolerated by -compare")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run phase to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile after the run phase to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	r := bench.NewRunner()
 	r.Warmup = sim.Duration(*warmup) * sim.Millisecond
@@ -51,6 +60,10 @@ func main() {
 
 	start := time.Now()
 	tables, err := r.Tables(*fig)
+	// The profiles cover the scenario-running phase, which is where all the
+	// simulation time and allocation go; rendering and comparison are not
+	// worth profiling and must not dilute the data.
+	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

@@ -26,6 +26,7 @@ import (
 	"mflow/internal/metrics"
 	"mflow/internal/obs"
 	"mflow/internal/overlay"
+	"mflow/internal/prof"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
 	"mflow/internal/steering"
@@ -59,6 +60,9 @@ func main() {
 		corrupt   = flag.Float64("corrupt", 0, "wire-frame corruption probability (detected by -wire checksums)")
 		stall     = flag.Float64("stall", 0, "per-execution kernel-core stall probability (20us mean stalls)")
 		faultseed = flag.Uint64("faultseed", 0, "extra seed for the fault injector's own PRNG")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile after the run to this file")
 	)
 	flag.Parse()
 
@@ -136,7 +140,13 @@ func main() {
 	if *metOut != "" {
 		sc.Obs = obs.New()
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	res := overlay.Run(sc)
+	stopProf()
 	fmt.Printf("scenario   %s\n", res.Scenario.Name())
 	fmt.Printf("throughput %.2f Gbps (%.0f msg/s, %d segments)\n", res.Gbps, res.MsgPerSec, res.DeliveredSegments)
 	fmt.Printf("latency    p50=%v  mean=%v  p99=%v\n",

@@ -319,7 +319,10 @@ func (r *Runner) Fig13() *Table {
 // result's observability snapshot (zeros if the run was not observed).
 func queueStats(res *overlay.Result) (ringP99, ringMax int64, worst string, worstP99, worstMax int64) {
 	worst = "-"
-	for name, m := range res.Obs {
+	// Iterate in sorted-name order: map order would make the worst-backlog
+	// pick nondeterministic when two backlogs tie on both p99 and max.
+	for _, name := range res.Obs.Names() {
+		m := res.Obs[name]
 		if !strings.HasPrefix(name, "queue_depth{queue=") {
 			continue
 		}

@@ -1,0 +1,143 @@
+// Package benchgate parses `go test -bench` output and compares it against
+// a committed baseline, so CI can fail on engine performance regressions:
+// a >tolerance increase in time/op, or any increase at all in allocs/op —
+// the engine's allocation discipline is exact, so it is gated exactly.
+package benchgate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Result is one benchmark line's measurements. Bytes and Allocs are -1 when
+// the run lacked -benchmem.
+type Result struct {
+	Name        string
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp int64
+}
+
+// Parse reads `go test -bench` output and returns results keyed by
+// benchmark name (the -GOMAXPROCS suffix stripped, so baselines transfer
+// across machines).
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		res := Result{Name: trimProcs(fields[0]), BytesPerOp: -1, AllocsPerOp: -1}
+		ok := false
+		for i := 2; i < len(fields); i++ {
+			v := fields[i-1]
+			switch fields[i] {
+			case "ns/op":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op %q in %q", v, line)
+				}
+				res.NsPerOp, ok = f, true
+			case "B/op":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad B/op %q in %q", v, line)
+				}
+				res.BytesPerOp = f
+			case "allocs/op":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op %q in %q", v, line)
+				}
+				res.AllocsPerOp = n
+			}
+		}
+		if ok {
+			out[res.Name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// trimProcs drops the trailing -N GOMAXPROCS suffix from a benchmark name.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Compare returns one human-readable regression per violated gate:
+// benchmarks missing from current, time/op beyond baseline*(1+tolerance),
+// or allocs/op above baseline at all. Benchmarks only in current are new
+// and pass (commit a refreshed baseline to start gating them).
+func Compare(baseline, current map[string]Result, tolerance float64) []string {
+	var regs []string
+	for _, name := range sortedNames(baseline) {
+		base := baseline[name]
+		cur, found := current[name]
+		if !found {
+			regs = append(regs, fmt.Sprintf("%s: present in baseline but not in current run", name))
+			continue
+		}
+		if limit := base.NsPerOp * (1 + tolerance); cur.NsPerOp > limit {
+			regs = append(regs, fmt.Sprintf("%s: time/op %.1fns -> %.1fns (+%.0f%%, tolerance %.0f%%)",
+				name, base.NsPerOp, cur.NsPerOp, (cur.NsPerOp/base.NsPerOp-1)*100, tolerance*100))
+		}
+		if base.AllocsPerOp >= 0 && cur.AllocsPerOp > base.AllocsPerOp {
+			regs = append(regs, fmt.Sprintf("%s: allocs/op %d -> %d (any increase fails)",
+				name, base.AllocsPerOp, cur.AllocsPerOp))
+		}
+	}
+	return regs
+}
+
+// Report renders the side-by-side comparison for every baselined benchmark.
+func Report(w io.Writer, baseline, current map[string]Result) {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tbase ns/op\tcur ns/op\tbase allocs\tcur allocs\n")
+	for _, name := range sortedNames(baseline) {
+		base := baseline[name]
+		cur, found := current[name]
+		if !found {
+			fmt.Fprintf(tw, "%s\t%.1f\t(missing)\t%s\t-\n", name, base.NsPerOp, allocs(base))
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%s\t%s\n", name, base.NsPerOp, cur.NsPerOp, allocs(base), allocs(cur))
+	}
+	tw.Flush()
+}
+
+func allocs(r Result) string {
+	if r.AllocsPerOp < 0 {
+		return "-"
+	}
+	return strconv.FormatInt(r.AllocsPerOp, 10)
+}
+
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

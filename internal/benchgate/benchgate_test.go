@@ -1,0 +1,91 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mflow/internal/sim
+BenchmarkScheduler-8        	 3595329	        62.27 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerClosure-8 	 2416280	        94.49 ns/op	      16 B/op	       1 allocs/op
+BenchmarkCoreExec           	 9999999	       101.0 ns/op
+PASS
+ok  	mflow/internal/sim	4.005s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	s := got["BenchmarkScheduler"]
+	if s.NsPerOp != 62.27 || s.AllocsPerOp != 0 || s.BytesPerOp != 0 {
+		t.Errorf("BenchmarkScheduler parsed as %+v", s)
+	}
+	c := got["BenchmarkCoreExec"]
+	if c.NsPerOp != 101.0 || c.AllocsPerOp != -1 || c.BytesPerOp != -1 {
+		t.Errorf("benchmark without -benchmem parsed as %+v", c)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkScheduler-8":    "BenchmarkScheduler",
+		"BenchmarkScheduler-128":  "BenchmarkScheduler",
+		"BenchmarkScheduler":      "BenchmarkScheduler",
+		"BenchmarkEndToEnd/a-b-4": "BenchmarkEndToEnd/a-b",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := map[string]Result{
+		"A": {Name: "A", NsPerOp: 100, AllocsPerOp: 0},
+		"B": {Name: "B", NsPerOp: 100, AllocsPerOp: 2},
+		"C": {Name: "C", NsPerOp: 100, AllocsPerOp: 1},
+	}
+	cur := map[string]Result{
+		"A": {Name: "A", NsPerOp: 115, AllocsPerOp: 0}, // within 20% time, allocs equal: ok
+		"B": {Name: "B", NsPerOp: 130, AllocsPerOp: 2}, // time regression
+		"C": {Name: "C", NsPerOp: 90, AllocsPerOp: 2},  // alloc regression despite faster
+		"D": {Name: "D", NsPerOp: 1, AllocsPerOp: 99},  // new benchmark: not gated
+	}
+	regs := Compare(base, cur, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "B: time/op") {
+		t.Errorf("first regression %q, want B time/op", regs[0])
+	}
+	if !strings.Contains(regs[1], "C: allocs/op 1 -> 2") {
+		t.Errorf("second regression %q, want C allocs/op", regs[1])
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := map[string]Result{"A": {Name: "A", NsPerOp: 100, AllocsPerOp: 0}}
+	regs := Compare(base, map[string]Result{}, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "not in current") {
+		t.Fatalf("missing benchmark not flagged: %v", regs)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	base := map[string]Result{"A": {Name: "A", NsPerOp: 100, AllocsPerOp: 0}}
+	cur := map[string]Result{"A": {Name: "A", NsPerOp: 90, AllocsPerOp: 0}}
+	var sb strings.Builder
+	Report(&sb, base, cur)
+	out := sb.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "90.0") {
+		t.Errorf("report missing data:\n%s", out)
+	}
+}

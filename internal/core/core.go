@@ -57,6 +57,11 @@ type Splitter struct {
 	// at micro-flow boundaries) never reorder packets.
 	Gate func() bool
 
+	// Recycle, if set, receives skbs rejected at a full splitting queue
+	// (dead on arrival — nothing below the socket retransmits) so the
+	// run's pool can reuse them.
+	Recycle func(*skb.SKB)
+
 	// Dispatched counts skbs sent to splitting queues; IPIs counts
 	// remote wakeups raised.
 	Dispatched uint64
@@ -167,5 +172,7 @@ func (sp *Splitter) Dispatch(s *skb.SKB) {
 		}
 	}
 	sp.Dispatched++
-	t.Enqueue(s)
+	if !t.Enqueue(s) && sp.Recycle != nil {
+		sp.Recycle(s)
+	}
 }

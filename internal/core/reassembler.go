@@ -87,7 +87,16 @@ type Reassembler struct {
 	gapArmed    bool
 	gapMark     uint64 // DeliveredSegments when the gap timer was armed
 	gapFrontier uint64 // arrivedMax when the gap timer was armed
+	gapH        gapTimerH
 }
+
+// gapTimerH fires the reassembler's stall check through the scheduler's
+// closure-free path (the timer re-arms on every buffered arrival, so a
+// per-arm closure would be a steady allocation in lossy runs).
+type gapTimerH struct{ r *Reassembler }
+
+// Handle implements sim.Handler.
+func (h gapTimerH) Handle(any, sim.Time) { h.r.onGapTimer() }
 
 // NewReassembler returns a reassembler for a flow split across numQueues
 // splitting cores with the given batch size.
@@ -169,7 +178,10 @@ func (r *Reassembler) armGapTimer() {
 	r.gapArmed = true
 	r.gapMark = r.DeliveredSegments
 	r.gapFrontier = r.arrivedMax
-	r.Sched.After(r.GapTimeout, r.onGapTimer)
+	if r.gapH.r == nil {
+		r.gapH.r = r
+	}
+	r.Sched.AfterHandler(r.GapTimeout, r.gapH, nil)
 }
 
 func (r *Reassembler) onGapTimer() {

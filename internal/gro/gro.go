@@ -23,6 +23,11 @@ type GRO struct {
 	// SegsIn/SkbsOut is the achieved amortization factor.
 	SegsIn  uint64
 	SkbsOut uint64
+
+	// Recycle, if set, receives each skb absorbed into a super-packet
+	// (its coverage lives on in the merge head) so the run's pool can
+	// reuse it.
+	Recycle func(*skb.SKB)
 }
 
 // New returns an enabled GRO engine with the default byte cap.
@@ -60,6 +65,9 @@ func (g *GRO) Coalesce(batch []*skb.SKB) []*skb.SKB {
 	for _, s := range batch {
 		if h, ok := heads[s.FlowID]; ok && h.CanMerge(s) && h.PayloadLen+s.PayloadLen <= max {
 			h.Merge(s)
+			if g.Recycle != nil {
+				g.Recycle(s)
+			}
 			continue
 		}
 		out = append(out, s)

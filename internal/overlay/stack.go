@@ -77,22 +77,21 @@ func (st *Stack) Send(f, size int) uint64 {
 			payload = segPayload
 		}
 		remaining -= payload
-		s := &skb.SKB{
-			FlowID:     fp.id,
-			Proto:      sc.Proto,
-			Seq:        seq + uint64(i),
-			Segs:       1,
-			WireLen:    payload + 52,
-			PayloadLen: payload,
-			MsgID:      msgID,
-			MsgEnd:     i == nseg-1,
-			SentAt:     now,
-		}
+		s := h.pool.Get()
+		s.FlowID = fp.id
+		s.Proto = sc.Proto
+		s.Seq = seq + uint64(i)
+		s.Segs = 1
+		s.WireLen = payload + 52
+		s.PayloadLen = payload
+		s.MsgID = msgID
+		s.MsgEnd = i == nseg-1
+		s.SentAt = now
 		if overlay {
 			s.Encap = true
 			s.WireLen += packet.OverlayOverhead
 		}
-		h.sched.After(sc.Costs.NetDelay, func() { h.nic.Deliver(s) })
+		h.sched.AfterHandler(sc.Costs.NetDelay, h.nicH, s)
 	}
 	return msgID
 }

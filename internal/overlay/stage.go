@@ -45,6 +45,22 @@ type stage struct {
 	obsOn   bool
 
 	out func(*skb.SKB, sim.Time)
+
+	// outH schedules per-skb emissions through the scheduler's
+	// closure-free path; the skb rides the event arg.
+	outH stageOutH
+
+	// pool recycles skbs this stage drops at its admission queue (nil =
+	// no pooling).
+	pool *skb.Pool
+}
+
+// stageOutH hands an emitted skb downstream at its completion instant.
+type stageOutH struct{ st *stage }
+
+// Handle implements sim.Handler.
+func (h stageOutH) Handle(arg any, now sim.Time) {
+	h.st.out(arg.(*skb.SKB), now)
 }
 
 // newStage builds a stage on core. Cross-core feeders should leave wake as
@@ -61,6 +77,7 @@ func newStage(name string, coreC *sim.Core, sched *sim.Scheduler, cfg *CostModel
 		WakeDelay:    wake,
 	}
 	st.worker.ProcessBatch = st.process
+	st.outH = stageOutH{st}
 	return st
 }
 
@@ -105,13 +122,17 @@ func (st *stage) process(batch []*skb.SKB) {
 		if st.obsOn {
 			s.LastStage, s.LastStageAt = st.name, end
 		}
-		s := s
-		st.sched.At(end, func() { st.out(s, end) })
+		st.sched.AtHandler(end, st.outH, s)
 	}
 }
 
 // feed returns an enqueue function for wiring a previous stage's output
-// into this stage.
+// into this stage. Skbs rejected at the queue (cap or gate) are dead — no
+// retransmission below the socket layer — so they return to the pool here.
 func (st *stage) feed() func(*skb.SKB, sim.Time) {
-	return func(s *skb.SKB, _ sim.Time) { st.worker.Enqueue(s) }
+	return func(s *skb.SKB, _ sim.Time) {
+		if !st.worker.Enqueue(s) {
+			st.pool.Put(s)
+		}
+	}
 }

@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"fmt"
+	"os"
 
 	mflow "mflow/internal/core"
 	"mflow/internal/fault"
@@ -20,6 +21,13 @@ import (
 
 const sameCoreWake = 200 // softirq re-raise latency on the same core
 
+// disablePool turns SKB pooling off process-wide. Tests flip it to prove
+// pooled and unpooled runs fingerprint identically; the MFLOW_NOPOOL
+// environment variable does the same for command-line A/B comparisons. It is
+// deliberately not a Scenario field: scenario keys (and therefore run
+// fingerprints) must not depend on an engine-internal toggle.
+var disablePool = os.Getenv("MFLOW_NOPOOL") != ""
+
 // udpBacklogCap bounds intermediate queues on UDP paths
 // (netdev_max_backlog-style); TCP paths are window-limited instead.
 const udpBacklogCap = 1000
@@ -36,6 +44,62 @@ type host struct {
 	gros    []*gro.GRO
 	capture *pcap.Writer
 	inj     *fault.Injector // nil unless sc.Faults is enabled
+
+	// pool recycles the run's SKBs (nil when pooling is disabled). One
+	// pool per host per run — never shared across Schedulers.
+	pool *skb.Pool
+	// ackFree recycles ackRelay events; nicH is the closure-free wire
+	// delivery handler used by Stack.Send.
+	ackFree []*ackRelay
+	nicH    nicDeliverH
+}
+
+// ackRelay carries one acknowledgement (cumulative or duplicate) across the
+// lossless return path's wire delay. The relay itself is the event handler —
+// the sequence number is a uint64 and would allocate if boxed into the event
+// arg — and returns to a host-local freelist after firing.
+type ackRelay struct {
+	h   *host
+	tx  *traffic.TCPSender
+	end uint64
+	dup bool
+}
+
+// Handle implements sim.Handler.
+func (a *ackRelay) Handle(_ any, now sim.Time) {
+	if a.dup {
+		a.tx.DupAck(a.end)
+	} else {
+		a.tx.Ack(a.end, now)
+	}
+	a.h.putAck(a)
+}
+
+func (h *host) getAck() *ackRelay {
+	if n := len(h.ackFree); n > 0 {
+		a := h.ackFree[n-1]
+		h.ackFree = h.ackFree[:n-1]
+		return a
+	}
+	return &ackRelay{h: h}
+}
+
+func (h *host) putAck(a *ackRelay) {
+	a.tx, a.end, a.dup = nil, 0, false
+	h.ackFree = append(h.ackFree, a)
+}
+
+// nicDeliverH delivers a frame to the host's NIC after the one-way wire
+// delay (Stack.Send's per-segment event), recycling frames a full ring
+// rejects.
+type nicDeliverH struct{ h *host }
+
+// Handle implements sim.Handler.
+func (d nicDeliverH) Handle(arg any, _ sim.Time) {
+	s := arg.(*skb.SKB)
+	if !d.h.nic.Deliver(s) {
+		d.h.pool.Put(s)
+	}
 }
 
 // flowPath is one flow's receive pipeline endpoints and sources.
@@ -151,6 +215,7 @@ func (h *host) newClientCore() *sim.Core {
 // share their histograms, so stage_latency{stage=X} aggregates all of X.
 func (h *host) newStageT(name string, coreC *sim.Core, cap int, wake sim.Duration) *stage {
 	st := newStage(name, coreC, h.sched, h.sc.Costs, cap, wake)
+	st.pool = h.pool
 	st.tracer = h.sc.Tracer
 	if reg := h.sc.Obs; reg != nil {
 		st.obsOn = true
@@ -168,6 +233,10 @@ func (h *host) newStageT(name string, coreC *sim.Core, cap int, wake sim.Duratio
 // buildHost constructs the complete topology for a scenario.
 func buildHost(sc Scenario) *host {
 	h := &host{sc: sc, sched: sim.NewScheduler(sc.Seed)}
+	h.nicH = nicDeliverH{h}
+	if !disablePool {
+		h.pool = &skb.Pool{}
+	}
 	if sc.Faults.Enabled() {
 		h.inj = fault.NewInjector(*sc.Faults, sc.Seed)
 	}
@@ -204,6 +273,25 @@ func buildHost(sc Scenario) *host {
 
 	for f := 0; f < sc.Flows; f++ {
 		h.buildFlow(f)
+	}
+
+	// Wire the pool's recycle points now that the full topology exists:
+	// final user-space delivery, TCP duplicate/prune discards, GRO-absorbed
+	// segments, and splitting-queue rejections all return their skbs here.
+	if h.pool != nil {
+		put := h.pool.Put
+		for _, g := range h.gros {
+			g.Recycle = put
+		}
+		for _, fp := range h.flows {
+			fp.sock.Recycle = put
+			if fp.tcpRx != nil {
+				fp.tcpRx.Recycle = put
+			}
+			if fp.split != nil {
+				fp.split.Recycle = put
+			}
+		}
 	}
 
 	// Register queue-depth probes once the full topology exists: the NIC
@@ -353,6 +441,7 @@ func (h *host) buildFlow(f int) {
 			Net:      txWrap(ingress, appCore),
 			NetDelay: cfg.NetDelay,
 			Cost:     clientCostTCP,
+			Pool:     h.pool,
 		}
 		if h.inj != nil {
 			tx.Reliable = true
@@ -362,7 +451,9 @@ func (h *host) buildFlow(f int) {
 				// cumulative ACKs and steer fast retransmit at the
 				// receiver's missing sequence.
 				fp.tcpRx.DupAck = func(e uint64) {
-					h.sched.After(cfg.NetDelay, func() { tx.DupAck(e) })
+					a := h.getAck()
+					a.tx, a.end, a.dup = tx, e, true
+					h.sched.AfterHandler(cfg.NetDelay, a, nil)
 				}
 				// The hole map that SACK blocks would carry on those
 				// ACKs; the simulator queries the receiver's scoreboard
@@ -373,7 +464,9 @@ func (h *host) buildFlow(f int) {
 		}
 		fp.tcpTx = tx
 		fp.sock.Ack = func(end uint64, _ sim.Time) {
-			h.sched.After(cfg.NetDelay, func() { tx.Ack(end, h.sched.Now()) })
+			a := h.getAck()
+			a.tx, a.end = tx, end
+			h.sched.AfterHandler(cfg.NetDelay, a, nil)
 		}
 		h.sched.At(0, tx.Start)
 		fp.stops = append(fp.stops, tx.Stop)
@@ -391,6 +484,7 @@ func (h *host) buildFlow(f int) {
 				Cost:     clientCostUDP,
 				Seq:      seq,
 				MsgBase:  uint64(c) << 40,
+				Pool:     h.pool,
 			}
 			h.sched.At(0, tx.Start)
 			fp.stops = append(fp.stops, tx.Stop)
@@ -405,7 +499,11 @@ func (h *host) tailFor(fp *flowPath, core *sim.Core) func(*skb.SKB, sim.Time) {
 	if h.sc.Proto == skb.TCP {
 		fp.tcpRx = &proto.TCPReceiver{
 			OOOQueueCost: h.sc.Costs.OOOQueue,
-			Deliver:      func(s *skb.SKB) { fp.sock.Enqueue(s) },
+			Deliver: func(s *skb.SKB) {
+				if !fp.sock.Enqueue(s) {
+					h.pool.Put(s)
+				}
+			},
 		}
 		if h.inj != nil {
 			fp.tcpRx.OFOCap = h.sc.Faults.OFOCapOrDefault()
@@ -413,7 +511,11 @@ func (h *host) tailFor(fp *flowPath, core *sim.Core) func(*skb.SKB, sim.Time) {
 		return func(s *skb.SKB, _ sim.Time) { fp.tcpRx.Rx(s, core) }
 	}
 	fp.udpRx = &proto.UDPReceiver{
-		Deliver: func(s *skb.SKB) { fp.sock.Enqueue(s) },
+		Deliver: func(s *skb.SKB) {
+			if !fp.sock.Enqueue(s) {
+				h.pool.Put(s)
+			}
+		},
 	}
 	return func(s *skb.SKB, _ sim.Time) { fp.udpRx.Rx(s, core) }
 }

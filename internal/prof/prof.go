@@ -1,0 +1,48 @@
+// Package prof wires Go's pprof profilers into the command-line tools so a
+// slow benchmark run can be diagnosed directly: mflowbench/mflowsim take
+// -cpuprofile/-memprofile flags and hand the paths here.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a stop
+// function that ends the CPU profile and writes an allocation profile to
+// memPath (when non-empty). Call stop at the end of the phase being
+// profiled — explicitly, before any os.Exit path, so the profiles are
+// complete even when the command exits non-zero.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // flush recently freed objects before snapshotting
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

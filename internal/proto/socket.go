@@ -26,6 +26,10 @@ type Socket struct {
 	Verify func(*skb.SKB) error
 	// Tap, if set, observes every delivered skb (tracing).
 	Tap func(*skb.SKB, sim.Time)
+	// Recycle, if set, receives each skb after user-space delivery — the
+	// pipeline's terminal ownership point — so the run's pool can reuse
+	// it. Delivery callbacks (Tap, OnMessage) must not retain the skb.
+	Recycle func(*skb.SKB)
 
 	// VerifyErrors counts failed integrity checks.
 	VerifyErrors   uint64
@@ -147,5 +151,8 @@ func (s *Socket) delivered(sk *skb.SKB, at sim.Time) {
 	}
 	if s.Ack != nil {
 		s.Ack(sk.EndSeq(), at)
+	}
+	if s.Recycle != nil {
+		s.Recycle(sk)
 	}
 }

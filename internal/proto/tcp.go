@@ -44,6 +44,9 @@ type TCPReceiver struct {
 	// ofo queue under memory pressure; the sender retransmits it. Zero
 	// means unbounded (the lossless-run default).
 	OFOCap int
+	// Recycle, if set, receives skbs the receiver discards (duplicates,
+	// pruned out-of-order entries) so the run's pool can reuse them.
+	Recycle func(*skb.SKB)
 
 	// OOOArrivals counts skbs that arrived ahead of sequence; OOOPeak is
 	// the maximum depth the out-of-order queue reached.
@@ -71,6 +74,9 @@ func (r *TCPReceiver) Rx(s *skb.SKB, core *sim.Core) {
 		if r.DupAck != nil {
 			r.DupAck(r.Expected)
 		}
+		if r.Recycle != nil {
+			r.Recycle(s)
+		}
 		return
 	}
 	if s.Seq != r.Expected {
@@ -83,6 +89,9 @@ func (r *TCPReceiver) Rx(s *skb.SKB, core *sim.Core) {
 			r.DupSegments += uint64(s.Segs)
 			if r.DupAck != nil {
 				r.DupAck(r.Expected)
+			}
+			if r.Recycle != nil {
+				r.Recycle(s)
 			}
 			return
 		}
@@ -124,6 +133,9 @@ func (r *TCPReceiver) Rx(s *skb.SKB, core *sim.Core) {
 			if seq < r.Expected {
 				r.DupSegments += uint64(parked.Segs)
 				delete(r.ooo, seq)
+				if r.Recycle != nil {
+					r.Recycle(parked)
+				}
 			}
 		}
 	}
@@ -175,8 +187,12 @@ func (r *TCPReceiver) pruneOFO() {
 			maxSeq = seq
 		}
 	}
-	r.OFOPruned += uint64(r.ooo[maxSeq].Segs)
+	pruned := r.ooo[maxSeq]
+	r.OFOPruned += uint64(pruned.Segs)
 	delete(r.ooo, maxSeq)
+	if r.Recycle != nil {
+		r.Recycle(pruned)
+	}
 }
 
 // Pending returns the current out-of-order queue depth.

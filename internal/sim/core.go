@@ -2,7 +2,6 @@ package sim
 
 import (
 	"math"
-	"sort"
 )
 
 // Core models one CPU core. A core executes at most one piece of work at a
@@ -40,7 +39,13 @@ type Core struct {
 	sched     *Scheduler
 	busyUntil Time
 	busyByTag map[string]Duration
-	busyTotal Duration
+	// tagsSorted mirrors busyByTag's keys in sorted order, maintained
+	// incrementally on first sight of each tag. The working set of tags is
+	// tiny (a handful of stage names) and almost every Exec hits an
+	// existing tag, so keeping the list sorted here makes Tags() a copy
+	// instead of an O(n log n) sort per call.
+	tagsSorted []string
+	busyTotal  Duration
 }
 
 // NewCore returns a core with nominal speed attached to sched.
@@ -98,7 +103,11 @@ func (c *Core) Exec(d Duration, tag string) (start, end Time) {
 	adj := c.adjust(d)
 	end = start.Add(adj)
 	c.busyUntil = end
-	c.busyByTag[tag] += adj
+	v, seen := c.busyByTag[tag]
+	if !seen {
+		c.insertTag(tag)
+	}
+	c.busyByTag[tag] = v + adj
 	c.busyTotal += adj
 	if c.ExecLog != nil {
 		c.ExecLog(c.ID, tag, start, end)
@@ -125,14 +134,26 @@ func (c *Core) BusyByTag() map[string]Duration {
 	return out
 }
 
+// insertTag places a first-seen tag at its sorted position in tagsSorted
+// (binary search + shift; the list holds a handful of stage names).
+func (c *Core) insertTag(tag string) {
+	lo, hi := 0, len(c.tagsSorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.tagsSorted[mid] < tag {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.tagsSorted = append(c.tagsSorted, "")
+	copy(c.tagsSorted[lo+1:], c.tagsSorted[lo:])
+	c.tagsSorted[lo] = tag
+}
+
 // Tags returns the accounting tags seen so far, sorted.
 func (c *Core) Tags() []string {
-	tags := make([]string, 0, len(c.busyByTag))
-	for k := range c.busyByTag {
-		tags = append(tags, k)
-	}
-	sort.Strings(tags)
-	return tags
+	return append([]string(nil), c.tagsSorted...)
 }
 
 // Utilization returns the fraction of the window [since, until] the core was
@@ -152,4 +173,5 @@ func (c *Core) ResetAccounting() {
 	for k := range c.busyByTag {
 		delete(c.busyByTag, k)
 	}
+	c.tagsSorted = c.tagsSorted[:0]
 }

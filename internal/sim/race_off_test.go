@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled gates allocation assertions: the race detector's
+// instrumentation allocates, so allocs/op pins only hold in pure builds.
+const raceEnabled = false

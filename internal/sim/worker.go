@@ -53,7 +53,14 @@ type Worker[T any] struct {
 	Gate func(T) bool
 
 	queue     []T
+	spare     []T // recycled backing buffer, ping-ponged with queue per poll
 	scheduled bool
+
+	// Closure-free scheduling: every poll and per-item delivery event is
+	// scheduled through these fixed handler objects instead of a fresh
+	// closure, so a worker's steady state allocates nothing per event.
+	pollH workerPollH[T]
+	thenH workerThenH[T]
 
 	// Stats.
 	Enqueued   uint64
@@ -62,6 +69,19 @@ type Worker[T any] struct {
 	MaxDepth   int
 	PollRounds uint64
 }
+
+// workerPollH schedules a worker's poll rounds without closure allocation.
+type workerPollH[T any] struct{ w *Worker[T] }
+
+// Handle implements Handler.
+func (p *workerPollH[T]) Handle(any, Time) { p.w.poll() }
+
+// workerThenH delivers one processed item downstream at its completion
+// instant; the item rides the event's arg slot.
+type workerThenH[T any] struct{ w *Worker[T] }
+
+// Handle implements Handler.
+func (h *workerThenH[T]) Handle(arg any, now Time) { h.w.Then(arg.(T), now) }
 
 // NewWorker returns a worker bound to core with a per-item cost function and
 // downstream delivery fn.
@@ -103,13 +123,22 @@ func (w *Worker[T]) Enqueue(item T) bool {
 	return true
 }
 
+// pollHandler returns the worker's poll event handler, binding it lazily so
+// literal-constructed workers work too.
+func (w *Worker[T]) pollHandler() *workerPollH[T] {
+	if w.pollH.w == nil {
+		w.pollH.w = w
+	}
+	return &w.pollH
+}
+
 // kick schedules a poll round if one is not already pending.
 func (w *Worker[T]) kick() {
 	if w.scheduled || len(w.queue) == 0 {
 		return
 	}
 	w.scheduled = true
-	w.Sched.After(w.WakeDelay, w.poll)
+	w.Sched.AfterHandler(w.WakeDelay, w.pollHandler(), nil)
 }
 
 func (w *Worker[T]) poll() {
@@ -119,7 +148,7 @@ func (w *Worker[T]) poll() {
 		// snapshotted at execution time, so everything that accumulated
 		// meanwhile is drained together — NAPI's natural batching under
 		// load.
-		w.Sched.At(f, w.poll)
+		w.Sched.AtHandler(f, w.pollHandler(), nil)
 		return
 	}
 	w.scheduled = false
@@ -135,8 +164,15 @@ func (w *Worker[T]) poll() {
 	if n > budget {
 		n = budget
 	}
-	batch := w.queue[:n:n]
-	w.queue = append(w.queue[:0:0], w.queue[n:]...)
+	// Ping-pong the queue's backing buffers: the drained prefix becomes
+	// this round's batch, the remainder moves onto the spare buffer, and
+	// the batch's buffer is recycled as the next spare — no per-poll
+	// allocation once both buffers have grown. The batch slice is dead by
+	// the time its buffer is reused (batches never outlive their poll).
+	old := w.queue
+	batch := old[:n:n]
+	w.queue = append(w.spare[:0], old[n:]...)
+	w.spare = old[:0]
 
 	if w.PollOverhead > 0 {
 		w.Core.Exec(w.PollOverhead, w.Name+"/poll")
@@ -144,12 +180,14 @@ func (w *Worker[T]) poll() {
 	if w.ProcessBatch != nil {
 		w.ProcessBatch(batch)
 	} else {
+		if w.thenH.w == nil {
+			w.thenH.w = w
+		}
 		for _, item := range batch {
-			item := item
 			_, end := w.Core.Exec(w.Cost(item), w.Name)
 			w.Processed++
 			if w.Then != nil {
-				w.Sched.At(end, func() { w.Then(item, end) })
+				w.Sched.AtHandler(end, &w.thenH, item)
 			}
 		}
 	}
@@ -161,11 +199,11 @@ func (w *Worker[T]) poll() {
 		// fairness softirqs have (without it a hot stage starves its
 		// same-core neighbours).
 		w.scheduled = true
-		w.Sched.At(w.Core.FreeAt().Add(1), w.poll)
+		w.Sched.AtHandler(w.Core.FreeAt().Add(1), w.pollHandler(), nil)
 	case w.IdleGrace > 0:
 		// Stay armed briefly: arrivals within the grace window are
 		// polled without a fresh wakeup (interrupt moderation).
 		w.scheduled = true
-		w.Sched.At(w.Core.FreeAt().Add(w.IdleGrace), w.poll)
+		w.Sched.AtHandler(w.Core.FreeAt().Add(w.IdleGrace), w.pollHandler(), nil)
 	}
 }

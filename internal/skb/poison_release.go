@@ -1,0 +1,9 @@
+//go:build !race && !skbdebug
+
+package skb
+
+// PoisonEnabled reports whether Pool.Put scribbles over recycled SKBs.
+// Release builds skip the scribble; Get fully zeroes on reuse either way.
+const PoisonEnabled = false
+
+func poison(*SKB) {}

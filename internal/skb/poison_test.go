@@ -1,0 +1,51 @@
+//go:build race || skbdebug
+
+package skb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// In -race (or skbdebug) builds Put scribbles poison values over the SKB, so
+// any stale reference that survives Put reads obviously-wrong values instead
+// of plausible stale ones. Get still hands back fully zeroed SKBs, so the
+// poisoning is invisible to correct code — pooled and unpooled runs stay
+// bit-identical.
+func TestPutPoisonsRecycledSKB(t *testing.T) {
+	if !PoisonEnabled {
+		t.Fatal("PoisonEnabled must be true under this build tag")
+	}
+	p := &Pool{}
+	s := p.Get()
+	s.FlowID = 7
+	s.Seq = 42
+	s.Segs = 3
+	p.Put(s)
+
+	// s is now a stale reference; every field must read as poison.
+	if s.FlowID != PoisonU64 || s.Seq != PoisonU64 || s.MsgID != PoisonU64 {
+		t.Errorf("stale u64 fields not poisoned: %+v", s)
+	}
+	if s.Segs != PoisonInt || s.WireLen != PoisonInt || s.Branch != PoisonInt {
+		t.Errorf("stale int fields not poisoned: %+v", s)
+	}
+	if s.SentAt != PoisonTime || s.ArrivedAt != PoisonTime {
+		t.Errorf("stale time fields not poisoned: %+v", s)
+	}
+	if s.LastStage != "POISONED" {
+		t.Errorf("stale LastStage = %q, want POISONED", s.LastStage)
+	}
+	if s.Data != nil {
+		t.Errorf("stale Data not dropped: %v", s.Data)
+	}
+
+	// The poison must never leak through Get.
+	s2 := p.Get()
+	if s2 != s {
+		t.Fatal("Get did not reuse the poisoned SKB")
+	}
+	if !reflect.DeepEqual(*s2, SKB{}) {
+		t.Errorf("Get returned poison residue: %+v", s2)
+	}
+}

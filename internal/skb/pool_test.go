@@ -1,0 +1,72 @@
+package skb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPoolReusesAndZeroes(t *testing.T) {
+	p := &Pool{}
+	s := p.Get()
+	if p.Allocs != 1 {
+		t.Fatalf("Allocs = %d after first Get, want 1", p.Allocs)
+	}
+	s.FlowID = 7
+	s.Seq = 99
+	s.Segs = 3
+	s.MsgEnd = true
+	s.LastStage = "gro"
+	s.Data = []byte{1, 2, 3}
+	p.Put(s)
+	if p.Puts != 1 || p.Free() != 1 {
+		t.Fatalf("Puts = %d, Free = %d after Put, want 1 and 1", p.Puts, p.Free())
+	}
+
+	s2 := p.Get()
+	if s2 != s {
+		t.Fatal("Get did not reuse the recycled SKB")
+	}
+	if p.Allocs != 1 {
+		t.Errorf("Allocs = %d after reuse, want still 1", p.Allocs)
+	}
+	if p.Free() != 0 {
+		t.Errorf("Free = %d after reuse, want 0", p.Free())
+	}
+	// Reuse must be indistinguishable from a fresh allocation: every field
+	// zeroed, no matter what the previous owner (or the poisoner) left.
+	if !reflect.DeepEqual(*s2, SKB{}) {
+		t.Errorf("Get returned a non-zeroed SKB: %+v", s2)
+	}
+}
+
+func TestPoolDataDroppedOnPut(t *testing.T) {
+	p := &Pool{}
+	s := p.Get()
+	s.Data = []byte{0xaa, 0xbb}
+	p.Put(s)
+	if got := p.Get(); got.Data != nil {
+		t.Errorf("recycled SKB still holds wire bytes: %v", got.Data)
+	}
+}
+
+// All Pool methods tolerate a nil receiver, so components can be wired with
+// no pool at all and still call Get/Put unconditionally.
+func TestPoolNilReceiver(t *testing.T) {
+	var p *Pool
+	s := p.Get()
+	if s == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	p.Put(s) // must not panic
+	if p.Free() != 0 {
+		t.Errorf("nil pool Free = %d, want 0", p.Free())
+	}
+}
+
+func TestPoolPutNil(t *testing.T) {
+	p := &Pool{}
+	p.Put(nil)
+	if p.Puts != 0 || p.Free() != 0 {
+		t.Errorf("Put(nil) counted: Puts = %d, Free = %d, want 0 and 0", p.Puts, p.Free())
+	}
+}

@@ -116,15 +116,32 @@ func (s *SKB) Merge(other *SKB) {
 }
 
 // Pool recycles SKBs to keep large simulations allocation-light. The
-// simulator is single-goroutine per run, so a plain freelist suffices.
+// simulator is single-goroutine per run, so a plain freelist suffices; a
+// Pool must never be shared across Schedulers (one pool per simulated run),
+// which preserves both determinism and race-freedom.
+//
+// Ownership rules (see DESIGN.md §8): exactly one component owns an SKB at a
+// time, and only the owner at a terminal point — final socket delivery, a
+// drop at an admission queue, a GRO merge that absorbs the segment, or a
+// failed Deliver — may Put it back. A missed Put merely costs a pool miss;
+// a double Put corrupts the freelist, so when in doubt the skb leaks to the
+// garbage collector instead.
+//
+// All methods tolerate a nil receiver (Get falls back to plain allocation),
+// so pooling can be disabled wholesale by wiring no pool at all.
 type Pool struct {
 	free []*SKB
 	// Allocs counts pool misses (fresh allocations).
 	Allocs uint64
+	// Puts counts SKBs returned for reuse.
+	Puts uint64
 }
 
-// Get returns a zeroed SKB.
+// Get returns a zeroed SKB, reusing a recycled one when available.
 func (p *Pool) Get() *SKB {
+	if p == nil {
+		return &SKB{}
+	}
 	if n := len(p.free); n > 0 {
 		s := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -135,11 +152,24 @@ func (p *Pool) Get() *SKB {
 	return &SKB{}
 }
 
-// Put returns an SKB to the pool. The caller must not retain it.
+// Put returns an SKB to the pool. The caller must not retain it. In -race
+// (or skbdebug-tagged) builds the SKB's fields are poisoned so any stale
+// reference that survives Put reads obviously-wrong values instead of
+// plausible stale ones.
 func (p *Pool) Put(s *SKB) {
-	if s == nil {
+	if p == nil || s == nil {
 		return
 	}
+	poison(s)
 	s.Data = nil
+	p.Puts++
 	p.free = append(p.free, s)
+}
+
+// Free returns the number of SKBs currently available for reuse.
+func (p *Pool) Free() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
 }

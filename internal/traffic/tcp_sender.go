@@ -66,6 +66,9 @@ type TCPSender struct {
 	// round trip at a time. Nil degrades to NewReno-style serial recovery.
 	Missing func(max int) []uint64
 
+	// Pool, when set, supplies the sender's SKBs (nil = plain allocation).
+	Pool *skb.Pool
+
 	// Stats.
 	MsgsSent  uint64
 	SegsSent  uint64
@@ -90,10 +93,108 @@ type TCPSender struct {
 	frontier     uint64 // receiver's receipt frontier (max dup-ACK seq seen)
 	dupSeq       uint64 // hole the current dup-ACK run points at
 	dupCount     int
-	recoverSeq uint64 // NewReno recovery point (Seq.Sent() at recovery entry)
-	recovering bool   // in loss recovery until acked reaches recoverSeq
-	rtoGen     uint64 // invalidates superseded timer events
-	rtoArmed   bool
+	recoverSeq   uint64 // NewReno recovery point (Seq.Sent() at recovery entry)
+	recovering   bool   // in loss recovery until acked reaches recoverSeq
+	rtoGen       uint64 // invalidates superseded timer events
+	rtoArmed     bool
+
+	// Closure-free scheduling: per-event state (the segment record, the
+	// retransmit sequence, the RTO generation) rides a pooled txEvt
+	// through the event's arg slot, replacing the per-segment closures.
+	doneH     tcpDoneH
+	retxDoneH tcpRetxDoneH
+	netH      tcpNetH
+	rtoH      tcpRTOH
+	evtFree   []*txEvt
+}
+
+// txEvt carries per-event state for the sender's scheduler events; instances
+// are recycled on a sender-local freelist.
+type txEvt struct {
+	s   *skb.SKB
+	rec *segRec
+	n   uint64 // retransmit sequence, or RTO generation
+}
+
+func (t *TCPSender) getEvt() *txEvt {
+	if n := len(t.evtFree); n > 0 {
+		e := t.evtFree[n-1]
+		t.evtFree = t.evtFree[:n-1]
+		return e
+	}
+	return &txEvt{}
+}
+
+func (t *TCPSender) putEvt(e *txEvt) {
+	*e = txEvt{}
+	t.evtFree = append(t.evtFree, e)
+}
+
+// tcpDoneH fires at a first transmission's client-core completion: it stamps
+// the send time (Karn's RTT baseline) and puts the segment on the wire. The
+// record pointer is carried, not looked up, so an acknowledgement that
+// already deleted the record still gets its (harmless) stamp, exactly as the
+// closure it replaces did.
+type tcpDoneH struct{ t *TCPSender }
+
+// Handle implements sim.Handler.
+func (h tcpDoneH) Handle(arg any, now sim.Time) {
+	t := h.t
+	e := arg.(*txEvt)
+	if e.rec != nil {
+		e.rec.sentAt = now
+	}
+	e.s.SentAt = now
+	t.Sched.AtHandler(now.Add(t.NetDelay), t.netH, e.s)
+	t.putEvt(e)
+}
+
+// tcpRetxDoneH fires at a retransmission's completion. The SKB is built here
+// — not when the retransmission was issued — because rec.sentAt may only be
+// stamped by the original transmission's completion event, which is
+// guaranteed to precede this one (the client core is FIFO).
+type tcpRetxDoneH struct{ t *TCPSender }
+
+// Handle implements sim.Handler.
+func (h tcpRetxDoneH) Handle(arg any, now sim.Time) {
+	t := h.t
+	e := arg.(*txEvt)
+	rec, seq := e.rec, e.n
+	t.putEvt(e)
+	s := t.Pool.Get()
+	s.FlowID = t.FlowID
+	s.Proto = skb.TCP
+	s.Seq = seq
+	s.Segs = 1
+	s.WireLen = rec.payload + 52
+	s.PayloadLen = rec.payload
+	s.MsgID = rec.msgID
+	s.MsgEnd = rec.msgEnd
+	s.SentAt = rec.sentAt // latency measured from first transmission
+	t.Sched.AtHandler(now.Add(t.NetDelay), t.netH, s)
+}
+
+// tcpNetH fires when a segment reaches the receiver NIC.
+type tcpNetH struct{ t *TCPSender }
+
+// Handle implements sim.Handler.
+func (h tcpNetH) Handle(arg any, _ sim.Time) {
+	s := arg.(*skb.SKB)
+	if !h.t.Net.Deliver(s) {
+		h.t.Pool.Put(s)
+	}
+}
+
+// tcpRTOH fires at a retransmission-timer expiry; the armed generation rides
+// the event so superseded timers die on the generation check.
+type tcpRTOH struct{ t *TCPSender }
+
+// Handle implements sim.Handler.
+func (h tcpRTOH) Handle(arg any, _ sim.Time) {
+	e := arg.(*txEvt)
+	gen := e.n
+	h.t.putEvt(e)
+	h.t.onRTO(gen)
 }
 
 // Start begins streaming. Safe to call once.
@@ -108,6 +209,10 @@ func (t *TCPSender) Start() {
 	if t.Reliable {
 		t.sent = make(map[uint64]*segRec)
 	}
+	t.doneH = tcpDoneH{t}
+	t.retxDoneH = tcpRetxDoneH{t}
+	t.netH = tcpNetH{t}
+	t.rtoH = tcpRTOH{t}
 	t.pump()
 }
 
@@ -275,23 +380,19 @@ func (t *TCPSender) sendSegment() {
 			t.armRTO()
 		}
 	}
-	t.Core.Run(cost, "tcp-send", func(end sim.Time) {
-		if rec != nil {
-			rec.sentAt = end
-		}
-		s := &skb.SKB{
-			FlowID:     t.FlowID,
-			Proto:      skb.TCP,
-			Seq:        seq,
-			Segs:       1,
-			WireLen:    payload + 52, // inner eth+ip+tcp headers
-			PayloadLen: payload,
-			MsgID:      msgID,
-			MsgEnd:     last,
-			SentAt:     end,
-		}
-		t.Sched.At(end.Add(t.NetDelay), func() { t.Net.Deliver(s) })
-	})
+	_, end := t.Core.Exec(cost, "tcp-send")
+	s := t.Pool.Get()
+	s.FlowID = t.FlowID
+	s.Proto = skb.TCP
+	s.Seq = seq
+	s.Segs = 1
+	s.WireLen = payload + 52 // inner eth+ip+tcp headers
+	s.PayloadLen = payload
+	s.MsgID = msgID
+	s.MsgEnd = last
+	e := t.getEvt()
+	e.s, e.rec = s, rec
+	t.Sched.AtHandler(end, t.doneH, e)
 }
 
 // retransmit resends the buffered segment at seq, if still unacknowledged.
@@ -305,20 +406,10 @@ func (t *TCPSender) retransmit(seq uint64) {
 	t.Retransmits++
 	t.SegsSent++
 	cost := t.Cost.PerSeg + sim.Duration(t.Cost.PerByte*float64(rec.payload))
-	t.Core.Run(cost, "tcp-send", func(end sim.Time) {
-		s := &skb.SKB{
-			FlowID:     t.FlowID,
-			Proto:      skb.TCP,
-			Seq:        seq,
-			Segs:       1,
-			WireLen:    rec.payload + 52,
-			PayloadLen: rec.payload,
-			MsgID:      rec.msgID,
-			MsgEnd:     rec.msgEnd,
-			SentAt:     rec.sentAt, // latency measured from first transmission
-		}
-		t.Sched.At(end.Add(t.NetDelay), func() { t.Net.Deliver(s) })
-	})
+	_, end := t.Core.Exec(cost, "tcp-send")
+	e := t.getEvt()
+	e.rec, e.n = rec, seq
+	t.Sched.AtHandler(end, t.retxDoneH, e)
 	t.armRTO()
 }
 
@@ -373,8 +464,9 @@ func (t *TCPSender) armRTO() {
 	}
 	t.rtoGen++
 	t.rtoArmed = true
-	gen := t.rtoGen
-	t.Sched.After(t.currentRTO(), func() { t.onRTO(gen) })
+	e := t.getEvt()
+	e.n = t.rtoGen
+	t.Sched.AfterHandler(t.currentRTO(), t.rtoH, e)
 }
 
 // disarmRTO cancels the pending expiry (all data acknowledged).

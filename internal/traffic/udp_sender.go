@@ -22,6 +22,8 @@ type UDPSender struct {
 	Seq *SeqAlloc
 	// MsgBase disambiguates message IDs across senders of one flow.
 	MsgBase uint64
+	// Pool, when set, supplies the sender's SKBs (nil = plain allocation).
+	Pool *skb.Pool
 
 	MsgsSent  uint64
 	SegsSent  uint64
@@ -29,7 +31,41 @@ type UDPSender struct {
 
 	stopped bool
 	started bool
+
+	// Fixed handler objects for the scheduler's closure-free path: one
+	// send-complete event and one wire-delivery event per segment, plus
+	// the loop continuation, all without per-event closures.
+	doneH udpDoneH
+	netH  udpNetH
+	loopH udpLoopH
 }
+
+// udpDoneH fires at a segment's client-core completion instant and puts the
+// segment on the wire.
+type udpDoneH struct{ u *UDPSender }
+
+// Handle implements sim.Handler.
+func (h udpDoneH) Handle(arg any, now sim.Time) {
+	u := h.u
+	u.Sched.AtHandler(now.Add(u.NetDelay), u.netH, arg)
+}
+
+// udpNetH fires when a segment reaches the receiver NIC.
+type udpNetH struct{ u *UDPSender }
+
+// Handle implements sim.Handler.
+func (h udpNetH) Handle(arg any, _ sim.Time) {
+	s := arg.(*skb.SKB)
+	if !h.u.Net.Deliver(s) {
+		h.u.Pool.Put(s)
+	}
+}
+
+// udpLoopH continues the send loop when the client core frees up.
+type udpLoopH struct{ u *UDPSender }
+
+// Handle implements sim.Handler.
+func (h udpLoopH) Handle(any, sim.Time) { h.u.sendMsg() }
 
 // Start begins the send loop. Safe to call once.
 func (u *UDPSender) Start() {
@@ -40,6 +76,9 @@ func (u *UDPSender) Start() {
 	if u.Seq == nil {
 		u.Seq = &SeqAlloc{}
 	}
+	u.doneH = udpDoneH{u}
+	u.netH = udpNetH{u}
+	u.loopH = udpLoopH{u}
 	u.sendMsg()
 }
 
@@ -69,26 +108,23 @@ func (u *UDPSender) sendMsg() {
 		if i == 0 {
 			cost += u.Cost.PerMsg
 		}
-		last := i == frags-1
 		segSeq := seq + uint64(i)
 		u.SegsSent++
 		u.BytesSent += uint64(payload)
-		u.Core.Run(cost, "udp-send", func(end sim.Time) {
-			s := &skb.SKB{
-				FlowID:     u.FlowID,
-				Proto:      skb.UDP,
-				Seq:        segSeq,
-				Segs:       1,
-				WireLen:    payload + 28 + 14, // ip+udp+eth headers
-				PayloadLen: payload,
-				MsgID:      msgID,
-				MsgEnd:     last,
-				SentAt:     end,
-			}
-			u.Sched.At(end.Add(u.NetDelay), func() { u.Net.Deliver(s) })
-		})
+		_, end := u.Core.Exec(cost, "udp-send")
+		s := u.Pool.Get()
+		s.FlowID = u.FlowID
+		s.Proto = skb.UDP
+		s.Seq = segSeq
+		s.Segs = 1
+		s.WireLen = payload + 28 + 14 // ip+udp+eth headers
+		s.PayloadLen = payload
+		s.MsgID = msgID
+		s.MsgEnd = i == frags-1
+		s.SentAt = end
+		u.Sched.AtHandler(end, u.doneH, s)
 	}
 	// Next datagram as soon as the client core frees up: the sender
 	// saturates its CPU, the paper's client-side bottleneck.
-	u.Sched.At(u.Core.FreeAt(), u.sendMsg)
+	u.Sched.AtHandler(u.Core.FreeAt(), u.loopH, nil)
 }

@@ -83,6 +83,13 @@ type Pipeline struct {
 	lastMsg   uint64
 	lastProto skb.Proto
 
+	// Fixed handler objects for the closure-free scheduler path, plus a
+	// freelist of GSO units (a unit dies as soon as its segments hit the
+	// wire, so a handful cover any pipeline depth).
+	outH     txOutH
+	enqH     txEnqH
+	unitFree []*txUnit
+
 	// SentSegments / QdiscDrops count egress traffic and tail drops.
 	SentSegments uint64
 	QdiscDrops   uint64
@@ -91,6 +98,49 @@ type Pipeline struct {
 // txUnit is a GSO super-packet in flight through the egress chain.
 type txUnit struct {
 	segs []*skb.SKB
+}
+
+// txOutH delivers one wire-serialized segment to the receiving NIC.
+type txOutH struct{ p *Pipeline }
+
+// Handle implements sim.Handler.
+func (h txOutH) Handle(arg any, _ sim.Time) {
+	h.p.Out.Deliver(arg.(*skb.SKB))
+}
+
+// txEnqH enqueues a closed GSO unit onto the qdisc at the socket path's
+// completion instant.
+type txEnqH struct{ p *Pipeline }
+
+// Handle implements sim.Handler.
+func (h txEnqH) Handle(arg any, _ sim.Time) {
+	p := h.p
+	u := arg.(*txUnit)
+	if !p.qdisc.Enqueue(u) {
+		p.QdiscDrops += uint64(len(u.segs))
+		if p.pending == u {
+			p.pending = nil
+		}
+		p.putUnit(u)
+		return
+	}
+	if p.pending == u {
+		p.pending = nil
+	}
+}
+
+func (p *Pipeline) getUnit() *txUnit {
+	if n := len(p.unitFree); n > 0 {
+		u := p.unitFree[n-1]
+		p.unitFree = p.unitFree[:n-1]
+		return u
+	}
+	return &txUnit{}
+}
+
+func (p *Pipeline) putUnit(u *txUnit) {
+	u.segs = u.segs[:0]
+	p.unitFree = append(p.unitFree, u)
 }
 
 // New builds a pipeline on the given cores delivering into out.
@@ -113,6 +163,8 @@ func New(app, kernel *sim.Core, sched *sim.Scheduler, costs Costs, overlay bool,
 		Cost:   p.unitCost,
 		Then:   p.transmit,
 	}
+	p.outH = txOutH{p}
+	p.enqH = txEnqH{p}
 	return p
 }
 
@@ -124,10 +176,10 @@ func (p *Pipeline) unitCost(u *txUnit) sim.Duration {
 		segs += s.Segs
 		bytes += s.WireLen
 	}
-	agg := &skb.SKB{Segs: segs, WireLen: bytes}
-	c := p.Costs.GSO.Of(agg) + p.Costs.Qdisc.Of(head) + p.Costs.NICTx.Of(agg)
+	agg := skb.SKB{Segs: segs, WireLen: bytes}
+	c := p.Costs.GSO.Of(&agg) + p.Costs.Qdisc.Of(head) + p.Costs.NICTx.Of(&agg)
 	if p.Overlay {
-		c += p.Costs.Veth.Of(head) + p.Costs.Bridge.Of(head) + p.Costs.Encap.Of(agg)
+		c += p.Costs.Veth.Of(head) + p.Costs.Bridge.Of(head) + p.Costs.Encap.Of(&agg)
 	}
 	return c
 }
@@ -136,15 +188,15 @@ func (p *Pipeline) unitCost(u *txUnit) sim.Duration {
 // the receiving NIC at its serialization completion instant.
 func (p *Pipeline) transmit(u *txUnit, _ sim.Time) {
 	for _, s := range u.segs {
-		s := s
 		d := sim.Duration(float64(s.WireLen*8) / p.Costs.WireBps * 1e9)
 		if d < 1 {
 			d = 1
 		}
 		_, end := p.wire.Exec(d, "wire")
 		p.SentSegments += uint64(s.Segs)
-		p.sched.At(end, func() { p.Out.Deliver(s) })
+		p.sched.AtHandler(end, p.outH, s)
 	}
+	p.putUnit(u)
 }
 
 // Deliver implements traffic.Ingress: a sender's segment enters the socket
@@ -169,18 +221,11 @@ func (p *Pipeline) Deliver(s *skb.SKB) bool {
 		u.segs = append(u.segs, s)
 		return true
 	}
-	u = &txUnit{segs: []*skb.SKB{s}}
+	u = p.getUnit()
+	u.segs = append(u.segs, s)
 	p.pending = u
-	ok := true
-	p.sched.At(end, func() {
-		if !p.qdisc.Enqueue(u) {
-			p.QdiscDrops += uint64(len(u.segs))
-		}
-		if p.pending == u {
-			p.pending = nil
-		}
-	})
-	return ok
+	p.sched.AtHandler(end, p.enqH, u)
+	return true
 }
 
 var _ traffic.Ingress = (*Pipeline)(nil)
