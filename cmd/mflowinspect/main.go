@@ -1,0 +1,267 @@
+// Command mflowinspect answers "where did the latency go": it runs scenarios
+// with the causal critical-path profiler attached and renders per-packet
+// latency attribution — breakdown tables per system × protocol, the slowest
+// packets' full timelines, anomaly flight-recorder summaries — without
+// perturbing the run (probed and unprobed runs measure identically).
+//
+// Examples:
+//
+//	mflowinspect                          # MFLOW TCP 64KB breakdown + exemplars
+//	mflowinspect -system rps -proto udp   # another system/protocol
+//	mflowinspect -chaos burst             # under fault injection
+//	mflowinspect -perfetto flight.json    # export anomaly snapshots (Perfetto)
+//	mflowinspect -fig 7                   # MFLOW reorder-wait vs batch size, vs RPS
+//	mflowinspect -compare BENCH_all.json  # regenerate + fail on any table drift
+//	mflowinspect -compare OLD.json -against NEW.json   # diff two artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mflow/internal/bench"
+	"mflow/internal/causal"
+	"mflow/internal/fault"
+	"mflow/internal/harness"
+	"mflow/internal/overlay"
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "mflow", "steering system: native|vanilla|rps|falcon-dev|falcon-func|mflow|slim")
+		proto     = flag.String("proto", "tcp", "protocol: tcp|udp")
+		size      = flag.Int("size", 65536, "message size (bytes)")
+		flows     = flag.Int("flows", 1, "concurrent flows")
+		batch     = flag.Int("batch", 0, "MFLOW micro-flow batch size (0 = default)")
+		chaos     = flag.String("chaos", "", "fault profile: random|burst (default lossless)")
+		measure   = flag.Int("measure-ms", 12, "measured window (simulated ms)")
+		warmup    = flag.Int("warmup-ms", 3, "warmup (simulated ms)")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		exemplars = flag.Int("exemplars", causal.DefaultExemplarsPerFlow, "slowest-packet timelines kept per flow")
+		perfetto  = flag.String("perfetto", "", "write flight-recorder snapshots as a Perfetto trace to this file")
+		fig       = flag.String("fig", "", "figure-style causal comparison (7: reorder-wait vs batch size, MFLOW vs RPS)")
+		compare   = flag.String("compare", "", "baseline BENCH_*.json: regenerate at its seed/windows and fail on breakdown or table drift")
+		against   = flag.String("against", "", "with -compare: diff against this artifact instead of regenerating")
+		tolerance = flag.Float64("tolerance", 0.10, "relative throughput drop tolerated by -compare")
+	)
+	flag.Parse()
+
+	switch {
+	case *compare != "":
+		os.Exit(runCompare(*compare, *against, *tolerance))
+	case *fig == "7":
+		os.Exit(runFig7(*seed, *warmup, *measure))
+	case *fig != "":
+		fmt.Fprintf(os.Stderr, "mflowinspect: unknown -fig %q (supported: 7)\n", *fig)
+		os.Exit(2)
+	}
+
+	sys, err := steering.ParseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pr := skb.TCP
+	switch *proto {
+	case "tcp", "TCP":
+	case "udp", "UDP":
+		pr = skb.UDP
+	default:
+		fmt.Fprintf(os.Stderr, "mflowinspect: unknown -proto %q\n", *proto)
+		os.Exit(2)
+	}
+	sc := overlay.Scenario{
+		System: sys, Proto: pr, MsgSize: *size, Flows: *flows,
+		MFlow:  overlay.MFlowConfig{BatchSize: *batch},
+		Seed:   *seed,
+		Warmup: sim.Duration(*warmup) * sim.Millisecond, Measure: sim.Duration(*measure) * sim.Millisecond,
+	}
+	if *chaos != "" {
+		plan, ok := fault.ChaosProfiles()[*chaos]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mflowinspect: unknown -chaos %q (random|burst)\n", *chaos)
+			os.Exit(2)
+		}
+		sc.Faults = plan
+	}
+	os.Exit(runLive(sc, *exemplars, *perfetto))
+}
+
+// runLive executes one probed scenario and prints its causal attribution.
+func runLive(sc overlay.Scenario, exemplars int, perfetto string) int {
+	p := &causal.Profiler{ExemplarsPerFlow: exemplars}
+	fr := causal.NewFlightRecorder()
+	res := overlay.RunProbed(sc, overlay.Probes{Causal: p, Flight: fr})
+
+	fmt.Println(res.String())
+	fmt.Printf("packets: %d delivered, %d GRO-absorbed, %d dropped\n\n",
+		p.DeliveredPkts, p.AbsorbedPkts, p.DroppedPkts)
+	fmt.Println(bench.BreakdownTable(res).Render())
+
+	if ex := p.Exemplars(); len(ex) > 0 {
+		fmt.Printf("slowest packets (%d per flow):\n", exemplars)
+		for _, r := range ex {
+			fmt.Print(causal.RenderTimeline(r))
+		}
+		fmt.Println()
+	}
+	if kinds := fr.TriggerKinds(); len(kinds) > 0 {
+		fmt.Println("flight-recorder triggers:")
+		for _, k := range kinds {
+			fmt.Printf("  %-14s %d (snapshots kept: see -perfetto)\n", k, fr.Triggers[k])
+		}
+	} else {
+		fmt.Println("flight-recorder triggers: none")
+	}
+	if perfetto != "" {
+		f, err := os.Create(perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := fr.Export(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "mflowinspect: wrote %s (%d snapshots)\n", perfetto, len(fr.Snapshots))
+	}
+	if v := p.Violations(); v > 0 {
+		fmt.Fprintf(os.Stderr, "mflowinspect: %d attribution violation(s); first: %s\n", v, p.FirstViolation())
+		return 1
+	}
+	return 0
+}
+
+// fig7Batches mirrors the paper's Fig. 7 sweep.
+var fig7Batches = []int{1, 4, 16, 64, 256, 1024, 4096}
+
+// runFig7 renders the causal view of the paper's Fig. 7: how much of MFLOW's
+// latency is reassembly reorder-wait at each micro-flow batch size, against
+// the RPS baseline — whose waits are steering handoffs, not reassembly.
+func runFig7(seed uint64, warmupMs, measureMs int) int {
+	warmup := sim.Duration(warmupMs) * sim.Millisecond
+	measure := sim.Duration(measureMs) * sim.Millisecond
+	probe := func(sc overlay.Scenario) (*overlay.Result, *causal.Profiler) {
+		sc.Seed, sc.Warmup, sc.Measure = seed, warmup, measure
+		p := causal.NewProfiler()
+		res := overlay.RunProbed(sc, overlay.Probes{Causal: p})
+		if v := p.Violations(); v > 0 {
+			fmt.Fprintf(os.Stderr, "mflowinspect: %d violation(s): %s\n", v, p.FirstViolation())
+			os.Exit(1)
+		}
+		return res, p
+	}
+	sumKind := func(res *overlay.Result, kind causal.SegKind) (total sim.Duration) {
+		for _, st := range res.Breakdown {
+			if st.Kind == kind {
+				total += st.Total
+			}
+		}
+		return total
+	}
+	e2e := func(p *causal.Profiler) sim.Duration {
+		if p.DeliveredPkts == 0 {
+			return 0
+		}
+		return p.SumE2E / sim.Duration(p.DeliveredPkts)
+	}
+
+	t := &bench.Table{
+		ID:    "fig7-causal",
+		Title: "Fig. 7, causally: MFLOW reorder-wait vs batch size (TCP 64KB), RPS for contrast",
+		Columns: []string{"system", "batch", "reorder-wait us",
+			"handoff us", "mean e2e us", "Gbps"},
+	}
+	us := func(d sim.Duration) string { return fmt.Sprintf("%.1f", float64(d)/1000) }
+	var mflow256, rps *overlay.Result
+	for _, b := range fig7Batches {
+		res, p := probe(overlay.Scenario{
+			System: steering.MFlow, Proto: skb.TCP, MsgSize: 65536,
+			MFlow: overlay.MFlowConfig{BatchSize: b},
+		})
+		if b == 256 {
+			mflow256 = res
+		}
+		t.Rows = append(t.Rows, []string{
+			"mflow", fmt.Sprintf("%d", b),
+			us(sumKind(res, causal.SegReorderWait)),
+			us(sumKind(res, causal.SegHandoff)),
+			us(e2e(p)), fmt.Sprintf("%.2f", res.Gbps),
+		})
+	}
+	{
+		res, p := probe(overlay.Scenario{System: steering.RPS, Proto: skb.TCP, MsgSize: 65536})
+		rps = res
+		t.Rows = append(t.Rows, []string{
+			"rps", "-",
+			us(sumKind(res, causal.SegReorderWait)),
+			us(sumKind(res, causal.SegHandoff)),
+			us(e2e(p)), fmt.Sprintf("%.2f", res.Gbps),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"MFLOW's wait is batch reassembly (reorder-wait at the merge point); RPS packets",
+		"never wait on reordering — their cross-core cost is the steer + IPI handoff.",
+		fmt.Sprintf("mflow handoff mechanism: %s; rps: %s",
+			steering.HandoffLabel(steering.MFlow), steering.HandoffLabel(steering.RPS)))
+	fmt.Println(t.Render())
+
+	fmt.Println(bench.BreakdownTable(mflow256).Render())
+	fmt.Println(bench.BreakdownTable(rps).Render())
+	return 0
+}
+
+// runCompare loads a baseline artifact and either regenerates it at the same
+// figure/seed/windows (probed — proving probes don't drift results) or diffs
+// it against a second artifact. Any cell-level table drift, breakdown drift,
+// or throughput regression beyond tolerance fails.
+func runCompare(basePath, againstPath string, tol float64) int {
+	base, err := bench.LoadArtifact(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cur *bench.Artifact
+	if againstPath != "" {
+		if cur, err = bench.LoadArtifact(againstPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		r := bench.NewRunner()
+		r.Seed = base.Seed
+		r.Warmup = sim.Duration(base.WarmupMs * float64(sim.Millisecond))
+		r.Measure = sim.Duration(base.MeasureMs * float64(sim.Millisecond))
+		r.Parallel = harness.DefaultWorkers()
+		r.Causal = true
+		tables, err := r.Tables(base.Figure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		cur = r.Artifact(base.Figure, tables)
+	}
+	drift := bench.DiffTables(base.Tables, cur.Tables)
+	drift = append(drift, bench.DiffBreakdowns(base, cur)...)
+	for _, g := range bench.Compare(base, cur, tol) {
+		drift = append(drift, g.String())
+	}
+	if len(drift) > 0 {
+		fmt.Fprintf(os.Stderr, "mflowinspect: %d drift line(s) vs %s:\n", len(drift), basePath)
+		for _, d := range drift {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		return 1
+	}
+	fmt.Printf("mflowinspect: no drift vs %s (%d tables, %d runs)\n", basePath, len(base.Tables), len(base.Runs))
+	return 0
+}

@@ -70,6 +70,11 @@ type RunRecord struct {
 	RingMax    int64 `json:"ring_max,omitempty"`
 	BacklogP99 int64 `json:"backlog_p99,omitempty"`
 	BacklogMax int64 `json:"backlog_max,omitempty"`
+
+	// Breakdown is the causal latency decomposition, present only when the
+	// run was probed (Runner.Causal); unprobed artifacts are byte-identical
+	// to pre-causal ones.
+	Breakdown []BreakdownRecord `json:"breakdown,omitempty"`
 }
 
 // AppRecord is one application-benchmark outcome (Figs. 11 and 13).
@@ -130,6 +135,7 @@ func runRecord(key string, res *overlay.Result) RunRecord {
 	if res.Obs != nil {
 		rec.RingP99, rec.RingMax, _, rec.BacklogP99, rec.BacklogMax = queueStats(res)
 	}
+	rec.Breakdown = breakdownRecords(res.Breakdown)
 	return rec
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"mflow/internal/apps"
+	"mflow/internal/causal"
 	"mflow/internal/obs"
 	"mflow/internal/overlay"
 	"mflow/internal/sim"
@@ -34,6 +35,11 @@ type Runner struct {
 	// harness.DefaultWorkers() (GOMAXPROCS) is the natural setting.
 	// Determinism does not depend on it.
 	Parallel int
+	// Causal attaches a fresh causal profiler to every run, so results and
+	// artifact records carry per-(kind, stage) latency breakdowns. Probes
+	// never perturb measured numbers; off by default so standard artifacts
+	// stay byte-identical.
+	Causal bool
 
 	mu      sync.Mutex
 	cache   map[string]*overlay.Result
@@ -100,7 +106,16 @@ func (r *Runner) run(sc overlay.Scenario) *overlay.Result {
 	if r.Observe && sc.Obs == nil {
 		sc.Obs = obs.New()
 	}
-	return r.store(key, overlay.Run(sc), false)
+	return r.store(key, overlay.RunProbed(sc, r.probes()), false)
+}
+
+// probes returns a fresh per-run probe set when causal attribution is on.
+// One profiler per run: packet ids restart with each scheduler.
+func (r *Runner) probes() overlay.Probes {
+	if !r.Causal {
+		return overlay.Probes{}
+	}
+	return overlay.Probes{Causal: causal.NewProfiler()}
 }
 
 // runObserved is run with a per-call observability guarantee: the result
@@ -115,7 +130,7 @@ func (r *Runner) runObserved(sc overlay.Scenario) *overlay.Result {
 		return res
 	}
 	sc.Obs = obs.New()
-	return r.store(key, overlay.Run(sc), true)
+	return r.store(key, overlay.RunProbed(sc, r.probes()), true)
 }
 
 func (r *Runner) single(sys steering.System, proto skb.Proto, size int) *overlay.Result {

@@ -1,0 +1,31 @@
+package causal
+
+import (
+	"testing"
+
+	"mflow/internal/skb"
+)
+
+// BenchmarkCausalOff pins the cost of the disabled profiler: every hook the
+// hot path can reach, called through nil receivers exactly as an unprobed
+// run calls them. The benchgate baseline pins this at 0 allocs/op — the
+// probes must be free when off.
+func BenchmarkCausalOff(b *testing.B) {
+	var p *Profiler
+	var fr *FlightRecorder
+	s := &skb.SKB{PktID: 1, FlowID: 1, Segs: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MarkWait(s, "stage", 10, true, false, 3)
+		p.Mark(s, SegService, "stage", 20)
+		p.MarkBlame(s, "reassembler", 30, 2)
+		p.NoteIdleWake(s)
+		p.NoteBatched(s)
+		p.MarkServe(s, 40, 50)
+		p.Complete(s, 60)
+		p.Drop(s, 60, "x")
+		p.Absorb(s)
+		fr.Trigger("drop-ring", 1, 1, 60)
+	}
+}

@@ -62,6 +62,11 @@ type Splitter struct {
 	// run's pool can reuse them.
 	Recycle func(*skb.SKB)
 
+	// OnIdleWake, if set, observes each dispatch that wakes an idle
+	// splitting queue (the IPI the causal profiler charges the following
+	// wait's head to). Observation only; nil in unprobed runs.
+	OnIdleWake func(*skb.SKB)
+
 	// Dispatched counts skbs sent to splitting queues; IPIs counts
 	// remote wakeups raised.
 	Dispatched uint64
@@ -169,6 +174,9 @@ func (sp *Splitter) Dispatch(s *skb.SKB) {
 		sp.IPIs++
 		if sp.Core != nil && sp.IPICost > 0 {
 			sp.Core.Exec(sp.IPICost, "ipi")
+		}
+		if sp.OnIdleWake != nil {
+			sp.OnIdleWake(s)
 		}
 	}
 	sp.Dispatched++

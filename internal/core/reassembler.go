@@ -79,6 +79,19 @@ type Reassembler struct {
 	// BufferedPeak is the maximum total skbs parked across all queues.
 	BufferedPeak int
 
+	// OnDeliver, when set, observes every delivery with the id of the
+	// packet whose arrival made it possible (the blame for the delivered
+	// skb's reorder-wait; 0 when a gap-timeout or flush released it, not
+	// an arrival). Observation only; nil in unprobed runs.
+	OnDeliver func(head *skb.SKB, blamePkt uint64)
+	// OnHoleReleased, when set, observes each gap-timeout force-release
+	// (the anomaly flight-recorder trigger).
+	OnHoleReleased func(head *skb.SKB)
+
+	// blamePkt is the arrival currently pumping the merger (0 outside
+	// Arrive — gap-timer and flush deliveries have no arrival to blame).
+	blamePkt uint64
+
 	queues      [][]*skb.SKB
 	counter     uint64 // micro-flow currently merged (1-based)
 	expectedSeq uint64 // next segment sequence to deliver
@@ -88,6 +101,15 @@ type Reassembler struct {
 	gapMark     uint64 // DeliveredSegments when the gap timer was armed
 	gapFrontier uint64 // arrivedMax when the gap timer was armed
 	gapH        gapTimerH
+}
+
+// deliver passes head downstream, first reporting it to the OnDeliver
+// observer together with the arrival that unblocked it.
+func (r *Reassembler) deliver(head *skb.SKB) {
+	if r.OnDeliver != nil {
+		r.OnDeliver(head, r.blamePkt)
+	}
+	r.Deliver(head)
 }
 
 // gapTimerH fires the reassembler's stall check through the scheduler's
@@ -148,7 +170,9 @@ func (r *Reassembler) Arrive(s *skb.SKB) error {
 	if r.buffered > r.BufferedPeak {
 		r.BufferedPeak = r.buffered
 	}
+	r.blamePkt = s.PktID
 	r.pump()
+	r.blamePkt = 0
 	if r.buffered > 0 {
 		r.armGapTimer()
 	}
@@ -261,7 +285,10 @@ func (r *Reassembler) releaseHole() {
 	if r.Core != nil && r.PerSKB > 0 {
 		r.Core.Exec(r.PerSKB, "mflow-merge")
 	}
-	r.Deliver(head)
+	if r.OnHoleReleased != nil {
+		r.OnHoleReleased(head)
+	}
+	r.deliver(head)
 	for r.expectedSeq >= r.counter*uint64(r.BatchSize) {
 		r.advance()
 	}
@@ -303,7 +330,7 @@ func (r *Reassembler) pump() {
 			if r.Core != nil && r.PerSKB > 0 {
 				r.Core.Exec(r.PerSKB, "mflow-merge")
 			}
-			r.Deliver(head)
+			r.deliver(head)
 			continue
 		}
 		if head.Seq != r.expectedSeq {
@@ -325,7 +352,7 @@ func (r *Reassembler) pump() {
 		if r.Core != nil && r.PerSKB > 0 {
 			r.Core.Exec(r.PerSKB, "mflow-merge")
 		}
-		r.Deliver(head)
+		r.deliver(head)
 		// Advance over every batch boundary the delivery crossed (a
 		// GRO super-packet can straddle boundaries when one core
 		// serves adjacent micro-flows).
@@ -359,7 +386,7 @@ func (r *Reassembler) pumpTagged() {
 				if r.Core != nil && r.PerSKB > 0 {
 					r.Core.Exec(r.PerSKB, "mflow-merge")
 				}
-				r.Deliver(head)
+				r.deliver(head)
 				progressed = true
 			}
 		}
@@ -418,7 +445,7 @@ func (r *Reassembler) pumpTagged() {
 		if r.Core != nil && r.PerSKB > 0 {
 			r.Core.Exec(r.PerSKB, "mflow-merge")
 		}
-		r.Deliver(head)
+		r.deliver(head)
 		for r.expectedSeq >= r.counter*uint64(r.BatchSize) {
 			r.advance()
 		}
@@ -457,7 +484,7 @@ func (r *Reassembler) Flush() int {
 		r.buffered--
 		r.expectedSeq = head.EndSeq()
 		r.DeliveredSegments += uint64(head.Segs)
-		r.Deliver(head)
+		r.deliver(head)
 		n++
 	}
 	return n

@@ -52,6 +52,16 @@ type NIC struct {
 
 	pins map[uint64]int
 
+	// pktSeq issues skb.PktID: a monotonic arrival counter covering every
+	// frame the NIC looks at (including ones the ring then drops), so ids
+	// are unique but not dense.
+	pktSeq uint64
+
+	// OnDrop, when set, observes frames rejected by a full descriptor ring
+	// (after PktID/ArrivedAt are stamped). Used by the causal profiler and
+	// the anomaly flight recorder; nil in unprobed runs.
+	OnDrop func(*skb.SKB)
+
 	// Received counts frames accepted into a ring; Dropped counts ring
 	// overruns; IRQs counts hardware interrupts raised.
 	Received uint64
@@ -127,9 +137,14 @@ func (n *NIC) Deliver(s *skb.SKB) bool {
 		return false
 	}
 	s.ArrivedAt = n.sched.Now()
+	n.pktSeq++
+	s.PktID = n.pktSeq
 	wasIdle := w.Idle()
 	if !w.Enqueue(s) {
 		n.Dropped++
+		if n.OnDrop != nil {
+			n.OnDrop(s)
+		}
 		return false
 	}
 	n.Received++

@@ -16,6 +16,10 @@ import (
 const (
 	PidCores = 1
 	PidFlows = 2
+	// PidFlight is the first pid used by the flight recorder's anomaly
+	// snapshots (one synthetic process per snapshot, counting up), chosen
+	// above the fixed tracks so all exports compose in one timeline.
+	PidFlight = 3
 )
 
 // ChromeEvent is one entry of the Chrome trace-event JSON format
@@ -30,7 +34,11 @@ type ChromeEvent struct {
 	Pid   int            `json:"pid"`
 	Tid   int64          `json:"tid"`
 	Scope string         `json:"s,omitempty"`
-	Args  map[string]any `json:"args,omitempty"`
+	// ID links flow events ("s"/"t"/"f" phases) into one arrow; BP is the
+	// flow binding point ("e" binds to the enclosing slice).
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // chromeTrace is the top-level trace-event JSON object.
@@ -99,6 +107,18 @@ func ChromeTraceEvents(events []trace.Event, log *CoreLog) []ChromeEvent {
 		}
 	}
 	return out
+}
+
+// WriteChromeTrace writes an arbitrary event slice as a loadable
+// Chrome/Perfetto trace object — the serialization shared by every
+// exporter (nil events become an empty array, never null).
+func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
+	t := chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"}
+	if t.TraceEvents == nil {
+		t.TraceEvents = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
 }
 
 // ExportChromeTrace writes events and core intervals as a Chrome

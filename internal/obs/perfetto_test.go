@@ -14,9 +14,9 @@ import (
 // (ph/ts/pid), per the acceptance criterion.
 func TestExportChromeTraceRoundTrip(t *testing.T) {
 	tr := trace.New()
-	tr.Record(1000, 1, 0, 1, "nic", 1)
-	tr.Record(2500, 1, 0, 1, "vxlan", 2)
-	tr.Record(3000, 2, 0, 4, "gro", 1)
+	tr.Record(1000, 0, 1, 0, 1, "nic", 1)
+	tr.Record(2500, 0, 1, 0, 1, "vxlan", 2)
+	tr.Record(3000, 0, 2, 0, 4, "gro", 1)
 
 	log := &CoreLog{}
 	log.add(1, "alloc", 500, 1500)

@@ -11,8 +11,16 @@ import (
 // Run executes a scenario: build the topology, warm it up, measure, and
 // report. Runs are deterministic for a fixed scenario (seed included).
 func Run(sc Scenario) *Result {
+	return RunProbed(sc, Probes{})
+}
+
+// RunProbed runs a scenario with causal probes attached. Probes observe
+// every packet's critical path without perturbing the run: for any scenario,
+// RunProbed(sc, pr) and Run(sc) produce identical measured results (the
+// probed-vs-unprobed fingerprint test pins this).
+func RunProbed(sc Scenario, pr Probes) *Result {
 	sc = sc.withDefaults()
-	h := buildHost(sc)
+	h := buildHost(sc, pr)
 	return h.run()
 }
 
@@ -95,6 +103,9 @@ func (h *host) run() *Result {
 	for _, fp := range h.flows {
 		fp.sock.Latency.Reset()
 	}
+	// Like the latency histograms, causal aggregates cover the measured
+	// window only; in-flight attribution records survive the reset.
+	h.prof.ResetStats()
 	start := h.sched.Now()
 
 	// Measurement window.
@@ -180,6 +191,7 @@ func (h *host) run() *Result {
 	if math.IsNaN(res.Gbps) {
 		res.Gbps = 0
 	}
+	res.Breakdown = h.prof.Breakdown()
 	if sc.Obs != nil {
 		sc.Obs.StopSampler()
 		h.syncObs()

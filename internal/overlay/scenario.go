@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"mflow/internal/causal"
 	"mflow/internal/fault"
 	"mflow/internal/metrics"
 	"mflow/internal/obs"
@@ -254,6 +255,21 @@ func sizeLabel(n int) string {
 	}
 }
 
+// Probes carries a run's optional causal-attribution instrumentation
+// (RunProbed). It is deliberately not part of Scenario: a scenario's
+// identity (Key) and measured results must not depend on whether anyone was
+// watching, so probes ride alongside the scenario rather than inside it.
+type Probes struct {
+	// Causal, when set, receives every packet's critical-path attribution:
+	// per-(kind, stage) latency breakdowns, tail exemplars, conservation
+	// checking.
+	Causal *causal.Profiler
+	// Flight, when set, keeps per-core rings of recent executions and
+	// snapshots them deterministically on anomaly triggers (drops, RTOs,
+	// reassembly gap-timeouts, wire corruption).
+	Flight *causal.FlightRecorder
+}
+
 // Result is the measured outcome of one scenario run.
 type Result struct {
 	Scenario Scenario
@@ -330,6 +346,11 @@ type Result struct {
 	DeliveredSegments uint64
 	// GROFactor is the achieved merge factor.
 	GROFactor float64
+
+	// Breakdown is the measured-window causal latency decomposition,
+	// aggregated per (segment kind, stage) across delivered packets. Nil
+	// unless the run was probed (RunProbed with a causal.Profiler).
+	Breakdown []causal.KindStat
 
 	// Obs is the measured-window view of the scenario's registry (counter
 	// values and histogram counts diffed over the window; gauges and

@@ -25,7 +25,7 @@ type Stack struct {
 func NewStack(sc Scenario) *Stack {
 	sc.NoTraffic = true
 	sc = sc.withDefaults()
-	st := &Stack{sc: sc, h: buildHost(sc)}
+	st := &Stack{sc: sc, h: buildHost(sc, Probes{})}
 	st.seqs = make([]traffic.SeqAlloc, sc.Flows)
 	st.msgs = make([]uint64, sc.Flows)
 	return st

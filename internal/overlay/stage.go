@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"mflow/internal/causal"
 	"mflow/internal/gro"
 	"mflow/internal/metrics"
 	"mflow/internal/netdev"
@@ -53,6 +54,15 @@ type stage struct {
 	// pool recycles skbs this stage drops at its admission queue (nil =
 	// no pooling).
 	pool *skb.Pool
+
+	// prof, when a run is probed, switches processing to the instrumented
+	// twin of process(); nil costs one branch per poll round. ringFed
+	// marks the stage whose queue is the NIC descriptor ring (its first
+	// wait is ring-wait, not softirq queueing); onDrop observes admission
+	// rejections (flight-recorder trigger).
+	prof    *causal.Profiler
+	ringFed bool
+	onDrop  func(*skb.SKB)
 }
 
 // stageOutH hands an emitted skb downstream at its completion instant.
@@ -84,6 +94,10 @@ func newStage(name string, coreC *sim.Core, sched *sim.Scheduler, cfg *CostModel
 func (st *stage) core() *sim.Core { return st.worker.Core }
 
 func (st *stage) process(batch []*skb.SKB) {
+	if st.prof != nil {
+		st.processProfiled(batch)
+		return
+	}
 	c := st.worker.Core
 	if st.obsOn {
 		now := st.sched.Now()
@@ -117,7 +131,86 @@ func (st *stage) process(batch []*skb.SKB) {
 		if len(st.post) == 0 && st.handoff == 0 {
 			end = c.FreeAt()
 		}
-		st.tracer.Record(end, s.FlowID, s.Seq, s.Segs, st.name, c.ID)
+		st.tracer.Record(end, s.PktID, s.FlowID, s.Seq, s.Segs, st.name, c.ID)
+		st.latency.RecordN(int64(end.Sub(s.ArrivedAt)), uint64(s.Segs))
+		if st.obsOn {
+			s.LastStage, s.LastStageAt = st.name, end
+		}
+		st.sched.AtHandler(end, st.outH, s)
+	}
+}
+
+// processProfiled is process() with critical-path marks at every wait/exec
+// boundary. It is a separate body (rather than inline branches) so the
+// disabled path pays exactly one nil check per poll round; any behavioural
+// edit here must mirror process() — the probed-vs-unprobed fingerprint test
+// pins the two in sync.
+func (st *stage) processProfiled(batch []*skb.SKB) {
+	c := st.worker.Core
+	p := st.prof
+	wd := st.worker.WakeDelay
+	groStage := st.gro != nil
+	if st.obsOn {
+		now := st.sched.Now()
+		for _, s := range batch {
+			if s.LastStage != "" {
+				st.gap(s.LastStage, int64(now.Sub(s.LastStageAt)))
+			}
+		}
+	}
+	for _, s := range batch {
+		first := true
+		for _, d := range st.pre {
+			start, end := c.Exec(d.CostOf(s), d.Name)
+			if first {
+				first = false
+				p.MarkWait(s, st.name, start, st.ringFed, groStage, wd)
+			}
+			p.Mark(s, causal.SegService, st.name, end)
+			d.Apply(s)
+		}
+		if st.each != nil {
+			st.each(s, c)
+		}
+		if !first {
+			// Phase-1 work done; the skb now sits in the poll batch. On a
+			// GRO stage the gap until phase 2 is the coalescing hold.
+			p.NoteBatched(s)
+		}
+	}
+	if st.gro != nil {
+		batch = st.gro.Coalesce(batch)
+	}
+	for _, s := range batch {
+		end := st.sched.Now()
+		first := true
+		for _, d := range st.post {
+			var start sim.Time
+			start, end = c.Exec(d.CostOf(s), d.Name)
+			if first {
+				first = false
+				p.MarkWait(s, st.name, start, st.ringFed, groStage, wd)
+			}
+			p.Mark(s, causal.SegService, st.name, end)
+			d.Apply(s)
+		}
+		if st.handoff > 0 {
+			var start sim.Time
+			start, end = c.Exec(st.handoff, "handoff")
+			if first {
+				first = false
+				p.MarkWait(s, st.name, start, st.ringFed, groStage, wd)
+			}
+			p.Mark(s, causal.SegHandoff, st.name, end)
+		}
+		if len(st.post) == 0 && st.handoff == 0 {
+			end = c.FreeAt()
+			// No execution of its own in phase 2: everything up to the
+			// emission instant is wait (queue/gro-hold/ring classified by
+			// the same policy as a first exec would be).
+			p.MarkWait(s, st.name, end, st.ringFed, groStage, wd)
+		}
+		st.tracer.Record(end, s.PktID, s.FlowID, s.Seq, s.Segs, st.name, c.ID)
 		st.latency.RecordN(int64(end.Sub(s.ArrivedAt)), uint64(s.Segs))
 		if st.obsOn {
 			s.LastStage, s.LastStageAt = st.name, end
@@ -131,7 +224,16 @@ func (st *stage) process(batch []*skb.SKB) {
 // retransmission below the socket layer — so they return to the pool here.
 func (st *stage) feed() func(*skb.SKB, sim.Time) {
 	return func(s *skb.SKB, _ sim.Time) {
+		if p := st.prof; p != nil && st.worker.Idle() {
+			p.NoteIdleWake(s)
+		}
 		if !st.worker.Enqueue(s) {
+			if p := st.prof; p != nil {
+				p.Drop(s, st.sched.Now(), st.name)
+			}
+			if st.onDrop != nil {
+				st.onDrop(s)
+			}
 			st.pool.Put(s)
 		}
 	}

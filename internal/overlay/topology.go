@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"mflow/internal/causal"
 	mflow "mflow/internal/core"
 	"mflow/internal/fault"
 	"mflow/internal/gro"
@@ -48,6 +49,11 @@ type host struct {
 	// pool recycles the run's SKBs (nil when pooling is disabled). One
 	// pool per host per run — never shared across Schedulers.
 	pool *skb.Pool
+	// prof / flight are the run's probes (both nil for unprobed runs; see
+	// Probes). They observe the pipeline through plain func hooks and never
+	// alter its behaviour.
+	prof   *causal.Profiler
+	flight *causal.FlightRecorder
 	// ackFree recycles ackRelay events; nicH is the closure-free wire
 	// delivery handler used by Stack.Send.
 	ackFree []*ackRelay
@@ -230,9 +236,11 @@ func (h *host) newStageT(name string, coreC *sim.Core, cap int, wake sim.Duratio
 	return st
 }
 
-// buildHost constructs the complete topology for a scenario.
-func buildHost(sc Scenario) *host {
+// buildHost constructs the complete topology for a scenario, attaching any
+// probes after the topology is fully wired.
+func buildHost(sc Scenario, pr Probes) *host {
 	h := &host{sc: sc, sched: sim.NewScheduler(sc.Seed)}
+	h.prof, h.flight = pr.Causal, pr.Flight
 	h.nicH = nicDeliverH{h}
 	if !disablePool {
 		h.pool = &skb.Pool{}
@@ -294,6 +302,11 @@ func buildHost(sc Scenario) *host {
 		}
 	}
 
+	// Causal probes wire last: their hooks chain after the recycle points
+	// above (the profiler must close a record before the pool reuses the
+	// skb) and after each flow's tracing tap.
+	h.armCausal()
+
 	// Register queue-depth probes once the full topology exists: the NIC
 	// descriptor rings, every softirq backlog (keyed by stage name and a
 	// build-order index so parallel branches stay distinguishable), and
@@ -354,7 +367,7 @@ func (h *host) buildFlow(f int) {
 		sockGap := reg.GapTo("socket")
 		fp.sock.Tap = func(s *skb.SKB, at sim.Time) {
 			if tr != nil {
-				tr.Record(at, s.FlowID, s.Seq, s.Segs, "socket", app.ID)
+				tr.Record(at, s.PktID, s.FlowID, s.Seq, s.Segs, "socket", app.ID)
 			}
 			sockLat.RecordN(int64(at.Sub(s.ArrivedAt)), uint64(s.Segs))
 			if s.LastStage != "" {
@@ -370,6 +383,9 @@ func (h *host) buildFlow(f int) {
 		first = h.buildPlannedFlow(f, fp)
 	}
 	h.nic.AttachDriver(f, first.worker)
+	// The first stage's queue is the NIC descriptor ring: a probed run
+	// classifies its head wait as ring-wait, not softirq queueing.
+	first.ringFed = true
 	if h.inj != nil {
 		// The driver worker's queue is the NIC descriptor ring: its
 		// admission gate is the ring-drop point, not a backlog one (undo
@@ -501,7 +517,7 @@ func (h *host) tailFor(fp *flowPath, core *sim.Core) func(*skb.SKB, sim.Time) {
 			OOOQueueCost: h.sc.Costs.OOOQueue,
 			Deliver: func(s *skb.SKB) {
 				if !fp.sock.Enqueue(s) {
-					h.pool.Put(s)
+					h.dropSock(fp, s)
 				}
 			},
 		}
@@ -513,11 +529,143 @@ func (h *host) tailFor(fp *flowPath, core *sim.Core) func(*skb.SKB, sim.Time) {
 	fp.udpRx = &proto.UDPReceiver{
 		Deliver: func(s *skb.SKB) {
 			if !fp.sock.Enqueue(s) {
-				h.pool.Put(s)
+				h.dropSock(fp, s)
 			}
 		},
 	}
 	return func(s *skb.SKB, _ sim.Time) { fp.udpRx.Rx(s, core) }
+}
+
+// dropSock retires a skb rejected at the socket receive queue: the probes
+// observe the loss, then the skb returns to the pool.
+func (h *host) dropSock(fp *flowPath, s *skb.SKB) {
+	if p := h.prof; p != nil {
+		p.Drop(s, h.sched.Now(), "socket")
+	}
+	if fr := h.flight; fr != nil {
+		fr.Trigger("drop-sock", s.PktID, fp.id, h.sched.Now())
+	}
+	h.pool.Put(s)
+}
+
+// armCausal attaches the run's probes — the causal profiler and/or the
+// anomaly flight recorder — to the fully built topology. Every hook below is
+// a plain func field on the probed component: unprobed runs keep them nil
+// and pay nothing; probed runs only observe, never alter behaviour.
+func (h *host) armCausal() {
+	p, fr := h.prof, h.flight
+	if p == nil && fr == nil {
+		return
+	}
+	if fr != nil {
+		// Per-core execution rings chain onto any CoreLog already attached.
+		fr.Attach(h.cores...)
+	}
+	for _, st := range h.stages {
+		st.prof = p
+		if fr != nil {
+			st := st
+			st.onDrop = func(s *skb.SKB) {
+				fr.Trigger("drop-backlog", s.PktID, s.FlowID, h.sched.Now())
+			}
+		}
+	}
+	h.nic.OnDrop = func(s *skb.SKB) {
+		if p != nil {
+			p.Drop(s, h.sched.Now(), "nic-ring")
+		}
+		if fr != nil {
+			fr.Trigger("drop-ring", s.PktID, s.FlowID, h.sched.Now())
+		}
+	}
+	for _, fp := range h.flows {
+		fp := fp
+		if p != nil {
+			// Userspace delivery is the terminal attribution point; the
+			// profiler closes the record after any tracing tap ran.
+			prevTap := fp.sock.Tap
+			fp.sock.Tap = func(s *skb.SKB, at sim.Time) {
+				if prevTap != nil {
+					prevTap(s, at)
+				}
+				p.Complete(s, at)
+			}
+			for _, w := range fp.sock.Workers() {
+				w.ServeLog = func(s *skb.SKB, start, end sim.Time) {
+					p.MarkServe(s, start, end)
+				}
+			}
+		}
+		if fp.reasm != nil {
+			if p != nil {
+				fp.reasm.OnDeliver = func(head *skb.SKB, blame uint64) {
+					p.MarkBlame(head, "reassembler", h.sched.Now(), blame)
+				}
+			}
+			if fr != nil {
+				fp.reasm.OnHoleReleased = func(head *skb.SKB) {
+					fr.Trigger("gap-timeout", head.PktID, head.FlowID, h.sched.Now())
+				}
+			}
+		}
+		if fp.tcpRx != nil && p != nil {
+			fp.tcpRx.OnDeliverParked = func(parked, filler *skb.SKB) {
+				p.MarkBlame(parked, "tcp-ofo", h.sched.Now(), filler.PktID)
+			}
+			prevRecycle := fp.tcpRx.Recycle
+			fp.tcpRx.Recycle = func(s *skb.SKB) {
+				p.Drop(s, h.sched.Now(), "tcp-dup")
+				if prevRecycle != nil {
+					prevRecycle(s)
+				}
+			}
+		}
+		if fp.split != nil {
+			if p != nil {
+				fp.split.OnIdleWake = p.NoteIdleWake
+			}
+			prevRecycle := fp.split.Recycle
+			fp.split.Recycle = func(s *skb.SKB) {
+				if p != nil {
+					p.Drop(s, h.sched.Now(), "split-queue")
+				}
+				if fr != nil {
+					fr.Trigger("drop-split", s.PktID, s.FlowID, h.sched.Now())
+				}
+				if prevRecycle != nil {
+					prevRecycle(s)
+				}
+			}
+		}
+		if fr != nil {
+			if prevVerify := fp.sock.Verify; prevVerify != nil {
+				fp.sock.Verify = func(s *skb.SKB) error {
+					err := prevVerify(s)
+					if err != nil {
+						fr.Trigger("corruption", s.PktID, s.FlowID, h.sched.Now())
+					}
+					return err
+				}
+			}
+			if fp.tcpTx != nil {
+				id := fp.id
+				fp.tcpTx.OnRTO = func() {
+					fr.Trigger("rto", 0, id, h.sched.Now())
+				}
+			}
+		}
+	}
+	if p != nil {
+		for _, g := range h.gros {
+			prevRecycle := g.Recycle
+			g.Recycle = func(s *skb.SKB) {
+				p.Absorb(s)
+				if prevRecycle != nil {
+					prevRecycle(s)
+				}
+			}
+		}
+	}
 }
 
 // armFaultRecovery relaxes a flow's reassembler for fault-injected runs:

@@ -36,7 +36,7 @@ func TestWireModeEndToEndIntegrity(t *testing.T) {
 
 func TestWireModeDecapsulatesBytes(t *testing.T) {
 	sc := wireQuick(steering.MFlow, skb.TCP).withDefaults()
-	h := buildHost(sc)
+	h := buildHost(sc, Probes{})
 	h.run()
 	fp := h.flows[0]
 	if fp.vx == nil || fp.vx.Decapped == 0 {

@@ -74,6 +74,13 @@ func NewSocket(proto skb.Proto, core *sim.Core, sched *sim.Scheduler, copyCost n
 // instrument it (e.g. MFLOW attaches its merge step to this thread).
 func (s *Socket) Worker() *sim.Worker[*skb.SKB] { return s.worker }
 
+// Workers returns every delivery-copy worker, primary first, so
+// instrumentation (the causal profiler's sock-wait/copy split) can observe
+// all copy threads.
+func (s *Socket) Workers() []*sim.Worker[*skb.SKB] {
+	return append([]*sim.Worker[*skb.SKB]{s.worker}, s.extra...)
+}
+
 // AddCopyThread adds a parallel delivery-copy thread on core with the same
 // cost model — the paper's future-work extension for the single
 // data-copying thread bottleneck. Deliveries round-robin across threads.

@@ -47,6 +47,11 @@ type TCPReceiver struct {
 	// Recycle, if set, receives skbs the receiver discards (duplicates,
 	// pruned out-of-order entries) so the run's pool can reuse them.
 	Recycle func(*skb.SKB)
+	// OnDeliverParked, if set, observes each parked skb as the OFO drain
+	// releases it, together with the in-order arrival that filled the
+	// hole — the blame for the parked skb's reorder-wait. Observation
+	// only; nil in unprobed runs.
+	OnDeliverParked func(parked, filler *skb.SKB)
 
 	// OOOArrivals counts skbs that arrived ahead of sequence; OOOPeak is
 	// the maximum depth the out-of-order queue reached.
@@ -124,6 +129,9 @@ func (r *TCPReceiver) Rx(s *skb.SKB, core *sim.Core) {
 			core.Exec(r.OOOQueueCost, "tcp-ofo")
 		}
 		r.Expected = next.EndSeq()
+		if r.OnDeliverParked != nil {
+			r.OnDeliverParked(next, s)
+		}
 		r.Deliver(next)
 	}
 	// A drained GRO super-packet can straddle a parked skb's range,

@@ -51,6 +51,12 @@ type Worker[T any] struct {
 	// (the gate owns the accounting). Fault injection uses this to model
 	// ring/backlog/socket admission loss independent of occupancy.
 	Gate func(T) bool
+	// ServeLog, if non-nil, observes each per-item execution window
+	// [start, end) as it is charged to the core. Observation only — it
+	// must not mutate the item or the worker. The causal profiler uses it
+	// to split queue-wait from service time on workers it cannot wrap
+	// (e.g. socket delivery-copy workers).
+	ServeLog func(item T, start, end Time)
 
 	queue     []T
 	spare     []T // recycled backing buffer, ping-ponged with queue per poll
@@ -184,8 +190,11 @@ func (w *Worker[T]) poll() {
 			w.thenH.w = w
 		}
 		for _, item := range batch {
-			_, end := w.Core.Exec(w.Cost(item), w.Name)
+			start, end := w.Core.Exec(w.Cost(item), w.Name)
 			w.Processed++
+			if w.ServeLog != nil {
+				w.ServeLog(item, start, end)
+			}
 			if w.Then != nil {
 				w.Sched.AtHandler(end, &w.thenH, item)
 			}

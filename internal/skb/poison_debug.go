@@ -25,6 +25,7 @@ func poison(s *SKB) {
 	s.WireLen = PoisonInt
 	s.PayloadLen = PoisonInt
 	s.Encap = true
+	s.PktID = PoisonU64
 	s.MsgID = PoisonU64
 	s.MsgEnd = true
 	s.MicroFlow = PoisonU64

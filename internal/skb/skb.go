@@ -66,6 +66,13 @@ type SKB struct {
 	MicroFlow uint64
 	Branch    int
 
+	// PktID is the monotonic per-NIC arrival identifier, stamped when the
+	// NIC accepts the frame. Unlike the SKB pointer (which skb.Pool reuse
+	// aliases) or Seq (which a retransmission repeats), PktID is unique per
+	// physical arrival for the lifetime of a run; 0 means "never arrived".
+	// Journeys and causal attribution key on it.
+	PktID uint64
+
 	// SentAt is when the sender created the segment; ArrivedAt is when
 	// the NIC received it. Latency is measured delivery-minus-SentAt.
 	SentAt    sim.Time
@@ -81,6 +88,11 @@ type SKB struct {
 	// Data optionally holds the real wire bytes (nil in synthetic runs;
 	// populated in wire-mode runs and correctness tests).
 	Data []byte
+
+	// CP is the causal profiler's per-packet attribution record (nil
+	// unless a run is probed). Declared as any to keep skb free of an
+	// internal/causal dependency; only the profiler reads or writes it.
+	CP any
 }
 
 // String summarizes the SKB for diagnostics.
@@ -162,6 +174,7 @@ func (p *Pool) Put(s *SKB) {
 	}
 	poison(s)
 	s.Data = nil
+	s.CP = nil
 	p.Puts++
 	p.free = append(p.free, s)
 }

@@ -71,6 +71,25 @@ func ParseSystem(name string) (System, error) {
 	return 0, fmt.Errorf("steering: unknown system %q", name)
 }
 
+// HandoffLabel describes how the system moves packets between pipeline
+// stages — the mechanism behind any "handoff" segments in a causal latency
+// breakdown (mflowinspect prints it under each system's table).
+func HandoffLabel(s System) string {
+	switch s {
+	case Native, Slim:
+		return "none (single softirq)"
+	case Vanilla:
+		return "softirq re-raise (same core)"
+	case RPS:
+		return "RPS steer + IPI"
+	case FalconDev, FalconFunc:
+		return "explicit pipeline handoff"
+	case MFlow:
+		return "split dispatch + IPI"
+	}
+	return "unknown"
+}
+
 // Stage names the softirq work units the plans place on cores. They map to
 // the paper's Fig. 2/3 pipeline: the pNIC softirq (skb allocation, GRO,
 // outer IP/UDP), the VxLAN softirq (decapsulation), and the veth softirq

@@ -15,7 +15,14 @@ import (
 
 // Event is one observation of a packet at a pipeline point.
 type Event struct {
-	At     sim.Time
+	At sim.Time
+	// Pkt is the NIC's monotonic arrival id (skb.PktID). It is the only
+	// identity that survives skb.Pool reuse and distinguishes a
+	// retransmission from the original: (FlowID, Seq) repeats across
+	// both, a pooled *skb.SKB pointer aliases unrelated packets, but Pkt
+	// is unique per physical arrival. 0 means the recording point had no
+	// arrival id (synthetic events).
+	Pkt    uint64
 	FlowID uint64
 	Seq    uint64
 	Segs   int
@@ -59,7 +66,7 @@ func (t *Tracer) cap() int {
 }
 
 // Record appends an event, subject to the tracer's filters and cap.
-func (t *Tracer) Record(at sim.Time, flowID, seq uint64, segs int, stage string, core int) {
+func (t *Tracer) Record(at sim.Time, pkt, flowID, seq uint64, segs int, stage string, core int) {
 	if t == nil {
 		return
 	}
@@ -74,7 +81,7 @@ func (t *Tracer) Record(at sim.Time, flowID, seq uint64, segs int, stage string,
 		return
 	}
 	t.byFlow = nil
-	t.events = append(t.events, Event{At: at, FlowID: flowID, Seq: seq, Segs: segs, Stage: stage, Core: core})
+	t.events = append(t.events, Event{At: at, Pkt: pkt, FlowID: flowID, Seq: seq, Segs: segs, Stage: stage, Core: core})
 }
 
 // Events returns everything recorded, in recording order.
@@ -110,6 +117,40 @@ func (t *Tracer) Journey(flowID, seq uint64) []Event {
 		}
 	}
 	return out
+}
+
+// JourneyPkt returns the events of one physical arrival, keyed by the
+// monotonic packet id, in time order. Unlike Journey (a coverage query over
+// (flow, seq), which conflates a retransmission with the original and any
+// GRO super-packet spanning the seq), JourneyPkt never aliases: pool reuse
+// hands the recycled skb a fresh PktID at the NIC.
+func (t *Tracer) JourneyPkt(pkt uint64) []Event {
+	if t == nil || pkt == 0 {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.events {
+		if e.Pkt == pkt {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// RenderJourneyPkt formats one physical arrival's journey as a timeline.
+func (t *Tracer) RenderJourneyPkt(pkt uint64) string {
+	events := t.JourneyPkt(pkt)
+	if len(events) == 0 {
+		return fmt.Sprintf("pkt %d: no events\n", pkt)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pkt %d (flow %d seq %d):\n", pkt, events[0].FlowID, events[0].Seq)
+	t0 := events[0].At
+	for _, e := range events {
+		fmt.Fprintf(&b, "  +%-12v %-10s core %d\n", e.At.Sub(t0), e.Stage, e.Core)
+	}
+	return b.String()
 }
 
 // Stages returns the distinct stage names seen, sorted.

@@ -69,6 +69,11 @@ type TCPSender struct {
 	// Pool, when set, supplies the sender's SKBs (nil = plain allocation).
 	Pool *skb.Pool
 
+	// OnRTO, if set, observes each retransmission-timer expiry that
+	// resent data (the anomaly flight-recorder trigger). Observation
+	// only; nil in unprobed runs.
+	OnRTO func()
+
 	// Stats.
 	MsgsSent  uint64
 	SegsSent  uint64
@@ -484,6 +489,9 @@ func (t *TCPSender) onRTO(gen uint64) {
 		return
 	}
 	t.RTOTimeouts++
+	if t.OnRTO != nil {
+		t.OnRTO()
+	}
 	t.recovering = true
 	t.recoverSeq = t.Seq.Sent()
 	if t.backoff < maxBackoff {
