@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"time"
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|queues|ablations|extensions|chaos|all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|queues|ablations|extensions|chaos|overload|all")
 		measure   = flag.Int("measure-ms", 12, "measured window per run (simulated ms)")
 		warmup    = flag.Int("warmup-ms", 3, "warmup per run (simulated ms)")
 		seed      = flag.Uint64("seed", 42, "simulation seed")
@@ -46,6 +47,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*tolerance, *parallel, *measure, *warmup); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -122,4 +127,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "mflowbench: no regressions beyond %.0f%% vs %s\n", 100**tolerance, *compare)
 	}
+}
+
+// validateFlags rejects nonsense before the harness spins up: the regression
+// tolerance must be a finite non-negative fraction, the worker pool at least
+// one wide, and the simulated windows non-negative with a positive measured
+// window (a zero-length measurement divides by zero in every rate).
+func validateFlags(tolerance float64, parallel, measureMs, warmupMs int) error {
+	if math.IsNaN(tolerance) || math.IsInf(tolerance, 0) || tolerance < 0 {
+		return fmt.Errorf("-tolerance must be a finite non-negative fraction, got %v", tolerance)
+	}
+	if parallel < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", parallel)
+	}
+	if measureMs <= 0 {
+		return fmt.Errorf("-measure-ms must be positive, got %d", measureMs)
+	}
+	if warmupMs < 0 {
+		return fmt.Errorf("-warmup-ms must be non-negative, got %d", warmupMs)
+	}
+	return nil
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                string
+		tolerance           float64
+		parallel            int
+		measureMs, warmupMs int
+		wantErr             string
+	}{
+		{"defaults", 0.10, 4, 12, 3, ""},
+		{"zero tolerance strict gate", 0, 1, 12, 0, ""},
+		{"negative tolerance", -0.1, 4, 12, 3, "-tolerance"},
+		{"NaN tolerance", math.NaN(), 4, 12, 3, "-tolerance"},
+		{"infinite tolerance", math.Inf(1), 4, 12, 3, "-tolerance"},
+		{"zero workers", 0.10, 0, 12, 3, "-parallel"},
+		{"negative workers", 0.10, -2, 12, 3, "-parallel"},
+		{"zero measure window", 0.10, 4, 0, 3, "-measure-ms"},
+		{"negative warmup", 0.10, 4, 12, -1, "-warmup-ms"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.tolerance, c.parallel, c.measureMs, c.warmupMs)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -19,13 +19,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"mflow/internal/fault"
 	"mflow/internal/metrics"
 	"mflow/internal/obs"
 	"mflow/internal/overlay"
+	"mflow/internal/overload"
 	"mflow/internal/prof"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
@@ -60,12 +64,17 @@ func main() {
 		corrupt   = flag.Float64("corrupt", 0, "wire-frame corruption probability (detected by -wire checksums)")
 		stall     = flag.Float64("stall", 0, "per-execution kernel-core stall probability (20us mean stalls)")
 		faultseed = flag.Uint64("faultseed", 0, "extra seed for the fault injector's own PRNG")
+		ovName    = flag.String("overload", "", "enable overload control with a named profile: "+overloadNames())
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile after the run to this file")
 	)
 	flag.Parse()
 
+	if err := validateFlags(*size, *flows, *loss, *dup, *corrupt, *stall); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	sys, err := steering.ParseSystem(*system)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -120,18 +129,26 @@ func main() {
 			Wire: fault.Profile{Drop: *loss, Dup: *dup, Corrupt: *corrupt},
 		}
 		if *burst != "" {
-			var pgb, pbg, lb float64
-			if _, err := fmt.Sscanf(*burst, "%f,%f,%f", &pgb, &pbg, &lb); err != nil {
-				fmt.Fprintf(os.Stderr, "bad -burst %q: want pGoodBad,pBadGood,lossBad\n", *burst)
+			ge, err := parseBurst(*burst)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			plan.Wire.Burst = &fault.GilbertElliott{PGoodBad: pgb, PBadGood: pbg, LossBad: lb}
+			plan.Wire.Burst = ge
 		}
 		if *stall > 0 {
 			plan.StallProb = *stall
 			plan.StallMean = 20 * sim.Microsecond
 		}
 		sc.Faults = plan
+	}
+	if *ovName != "" {
+		cfg, ok := overload.Profiles()[*ovName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -overload profile %q: want %s\n", *ovName, overloadNames())
+			os.Exit(2)
+		}
+		sc.Overload = cfg
 	}
 
 	if capture != nil {
@@ -162,6 +179,13 @@ func main() {
 			res.FastRetransmits, res.HolesReleased, res.StaleReleased, res.OFOPruned,
 			res.TCPDupSegments, res.ReassemblyErrors)
 	}
+	if sc.Overload.Enabled() {
+		fmt.Printf("overload   offered=%d accepted=%d adm-drops=%d aqm-drops=%d gated=%d poll=%d/%d resteers=%d collapse/restore=%d/%d mem-peak=%dKB sojourn-p99=%v\n",
+			res.OfferedFrames, res.AcceptedFrames, res.DropsAdmission, res.DropsAQM,
+			res.OverloadGated, res.PollModeEntered, res.PollModeExited,
+			res.WatchdogResteers, res.DegradeCollapses, res.DegradeRestores,
+			res.MemPeakBytes/1024, sim.Duration(res.AQMSojournP99))
+	}
 	if *wire {
 		fmt.Printf("wire       integrity errors: %d\n", res.WireErrors)
 	}
@@ -185,6 +209,67 @@ func main() {
 		fmt.Printf("queues     %s\n", queueSummary(res.Obs))
 		fmt.Printf("metrics    written to %s (%d series)\n", *metOut, len(res.Obs))
 	}
+}
+
+// validateFlags rejects nonsense before any simulation state is built:
+// sizes and flow counts must be positive, probabilities finite and in [0,1].
+func validateFlags(size, flows int, loss, dup, corrupt, stall float64) error {
+	if size <= 0 {
+		return fmt.Errorf("-size must be positive, got %d", size)
+	}
+	if flows <= 0 {
+		return fmt.Errorf("-flows must be positive, got %d", flows)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"loss", loss}, {"dup", dup}, {"corrupt", corrupt}, {"stall", stall}} {
+		if err := validateProb(p.name, p.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateProb checks that a probability-valued flag is finite and in [0,1].
+func validateProb(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+		return fmt.Errorf("-%s must be a probability in [0,1], got %v", name, v)
+	}
+	return nil
+}
+
+// parseBurst parses the -burst argument: exactly three comma-separated
+// probabilities pGoodBad,pBadGood,lossBad, each finite and in [0,1].
+func parseBurst(s string) (*fault.GilbertElliott, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -burst %q: want pGoodBad,pBadGood,lossBad", s)
+	}
+	vals := make([]float64, 3)
+	names := []string{"burst pGoodBad", "burst pBadGood", "burst lossBad"}
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -burst %q: %s is not a number", s, part)
+		}
+		if err := validateProb(names[i], v); err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return &fault.GilbertElliott{PGoodBad: vals[0], PBadGood: vals[1], LossBad: vals[2]}, nil
+}
+
+// overloadNames lists the available -overload profiles, sorted for a stable
+// usage string.
+func overloadNames() string {
+	var names []string
+	for name := range overload.Profiles() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
 }
 
 // queueSummary picks the NIC ring and the deepest backlog out of the

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                      string
+		size, flows               int
+		loss, dup, corrupt, stall float64
+		wantErr                   string
+	}{
+		{"defaults", 65536, 1, 0, 0, 0, 0, ""},
+		{"all max probs", 1500, 4, 1, 1, 1, 1, ""},
+		{"zero size", 0, 1, 0, 0, 0, 0, "-size"},
+		{"negative size", -1, 1, 0, 0, 0, 0, "-size"},
+		{"zero flows", 65536, 0, 0, 0, 0, 0, "-flows"},
+		{"loss over one", 65536, 1, 1.5, 0, 0, 0, "-loss"},
+		{"negative dup", 65536, 1, 0, -0.1, 0, 0, "-dup"},
+		{"corrupt NaN", 65536, 1, 0, 0, math.NaN(), 0, "-corrupt"},
+		{"stall infinite", 65536, 1, 0, 0, 0, math.Inf(1), "-stall"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.size, c.flows, c.loss, c.dup, c.corrupt, c.stall)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseBurst(t *testing.T) {
+	ge, err := parseBurst("0.002,0.1,0.75")
+	if err != nil {
+		t.Fatalf("valid burst rejected: %v", err)
+	}
+	if ge.PGoodBad != 0.002 || ge.PBadGood != 0.1 || ge.LossBad != 0.75 {
+		t.Fatalf("burst parsed wrong: %+v", ge)
+	}
+	if ge, err := parseBurst(" 0.1, 0.2, 0.3 "); err != nil || ge.LossBad != 0.3 {
+		t.Fatalf("whitespace-tolerant parse failed: %+v, %v", ge, err)
+	}
+
+	for _, bad := range []string{
+		"",                // empty
+		"0.1,0.2",         // too few fields
+		"0.1,0.2,0.3,0.4", // too many fields
+		"0.1,x,0.3",       // not a number
+		"0.1,0.2,1.5",     // out of range
+		"0.1,-0.2,0.3",    // negative
+		"NaN,0.2,0.3",     // not finite
+	} {
+		if _, err := parseBurst(bad); err == nil {
+			t.Errorf("parseBurst(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestOverloadNames(t *testing.T) {
+	names := overloadNames()
+	for _, want := range []string{"pressure", "livelock"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("overload profile list %q missing %q", names, want)
+		}
+	}
+}

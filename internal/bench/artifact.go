@@ -22,14 +22,19 @@ const ArtifactSchema = "mflow-bench/v1"
 // harness ran serial or parallel, which is what the golden determinism
 // test asserts.
 type Artifact struct {
-	Schema    string        `json:"schema"`
-	Figure    string        `json:"figure"`
-	Seed      uint64        `json:"seed"`
-	WarmupMs  float64       `json:"warmup_ms"`
-	MeasureMs float64       `json:"measure_ms"`
-	Runs      []RunRecord   `json:"runs"`
-	Apps      []AppRecord   `json:"apps,omitempty"`
-	Tables    []TableRecord `json:"tables"`
+	Schema    string  `json:"schema"`
+	Figure    string  `json:"figure"`
+	Seed      uint64  `json:"seed"`
+	WarmupMs  float64 `json:"warmup_ms"`
+	MeasureMs float64 `json:"measure_ms"`
+	// Provenance states which engine and configuration produced the runs.
+	// It is derived purely from the Runner's configuration — no timestamps
+	// or host identifiers — so regenerating with the same settings still
+	// yields byte-identical artifacts.
+	Provenance string        `json:"provenance,omitempty"`
+	Runs       []RunRecord   `json:"runs"`
+	Apps       []AppRecord   `json:"apps,omitempty"`
+	Tables     []TableRecord `json:"tables"`
 }
 
 // RunRecord is one overlay scenario's measured outcome.
@@ -151,6 +156,11 @@ func (r *Runner) Artifact(fig string, tables []*Table) *Artifact {
 		Seed:      r.Seed,
 		WarmupMs:  float64(r.Warmup) / float64(sim.Millisecond),
 		MeasureMs: float64(r.Measure) / float64(sim.Millisecond),
+		Provenance: fmt.Sprintf(
+			"mflowbench deterministic DES harness (fast-path engine, typed event heap); fig=%s seed=%d warmup=%gms measure=%gms, overload control and fault injection disabled unless a run's key says otherwise",
+			fig, r.Seed,
+			float64(r.Warmup)/float64(sim.Millisecond),
+			float64(r.Measure)/float64(sim.Millisecond)),
 	}
 	p := planFor(fig)
 	seen := map[string]bool{}

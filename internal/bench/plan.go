@@ -159,8 +159,20 @@ func planFor(fig string) plan {
 				}
 			}
 		}
+	case "overload":
+		for _, n := range overloadClients {
+			p.addObserved(livelockScenario(n, false))
+			p.addObserved(livelockScenario(n, true))
+		}
+		for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+			for _, sys := range overloadSystems {
+				p.add(pressureScenario(sys, proto))
+			}
+		}
 	case "all":
-		// All() runs figures in paper order; chaos is separate.
+		// All() runs figures in paper order; chaos and overload are
+		// separate (their scenarios carry fault plans / overload configs,
+		// so the committed all-figure artifact stays disabled-path pure).
 		for _, sub := range []string{"4", "7", "8", "9", "10", "11", "12", "13", "queues", "ablations", "extensions"} {
 			p.merge(planFor(sub))
 		}

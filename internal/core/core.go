@@ -57,6 +57,21 @@ type Splitter struct {
 	// at micro-flow boundaries) never reorder packets.
 	Gate func() bool
 
+	// TrackRoutes forces per-micro-flow route memoization even without a
+	// Gate, so Route answers from the memo and Override can re-steer. The
+	// overload watchdog needs this: the formula route is no longer the
+	// truth once a stalled branch's micro-flows have been moved.
+	TrackRoutes bool
+
+	// Collapsed, while true, routes every NEW micro-flow to target 0 —
+	// the reassembler's graceful-degradation mode (splitting degree 1,
+	// pass-through ≈ RPS). Applied at micro-flow boundaries like the Gate,
+	// so collapsing and restoring never reorder packets.
+	Collapsed bool
+	// CollapsedMicroFlows counts micro-flows routed to target 0 by
+	// Collapsed (degradation pressure, distinct from MiceMicroFlows).
+	CollapsedMicroFlows uint64
+
 	// Recycle, if set, receives skbs rejected at a full splitting queue
 	// (dead on arrival — nothing below the socket retransmits) so the
 	// run's pool can reuse them.
@@ -95,7 +110,7 @@ const (
 // routed. The reassembler uses it to distinguish "still in flight" from
 // "lost upstream" when a gate sends traffic off-formula.
 func (sp *Splitter) Route(mf uint64) (int, RouteState) {
-	if sp.Gate == nil {
+	if sp.Gate == nil && !sp.TrackRoutes {
 		if mf > sp.maxMF {
 			return sp.TargetOf(mf), RouteFuture
 		}
@@ -131,7 +146,7 @@ func (sp *Splitter) routeOf(mf uint64) int {
 	if mf > sp.maxMF {
 		sp.maxMF = mf
 	}
-	if sp.Gate == nil {
+	if sp.Gate == nil && !sp.TrackRoutes {
 		return sp.TargetOf(mf)
 	}
 	if sp.routes == nil {
@@ -141,10 +156,13 @@ func (sp *Splitter) routeOf(mf uint64) int {
 		return tgt
 	}
 	tgt := 0
-	if sp.Gate() {
-		tgt = sp.TargetOf(mf)
-	} else {
+	switch {
+	case sp.Gate != nil && !sp.Gate():
 		sp.MiceMicroFlows++
+	case sp.Collapsed:
+		sp.CollapsedMicroFlows++
+	default:
+		tgt = sp.TargetOf(mf)
 	}
 	sp.routes[mf] = tgt
 	if mf > sp.maxMF {
@@ -160,6 +178,19 @@ func (sp *Splitter) routeOf(mf uint64) int {
 	return tgt
 }
 
+// Override pins micro-flow mf's route to tgt, superseding both the formula
+// and any memoized decision. The overload watchdog uses it so segments of a
+// re-steered micro-flow still in flight land on the new branch.
+func (sp *Splitter) Override(mf uint64, tgt int) {
+	if sp.routes == nil {
+		sp.routes = make(map[uint64]int)
+	}
+	sp.routes[mf] = tgt
+	if mf > sp.maxMF {
+		sp.maxMF = mf
+	}
+}
+
 // Dispatch stamps s with its micro-flow ID and enqueues it on the owning
 // splitting queue, raising an IPI if the target was idle.
 func (sp *Splitter) Dispatch(s *skb.SKB) {
@@ -167,6 +198,7 @@ func (sp *Splitter) Dispatch(s *skb.SKB) {
 	s.MicroFlow = mf
 	s.Branch = sp.routeOf(mf)
 	t := sp.Targets[s.Branch]
+	s.QueuedAt = t.Sched.Now()
 	if sp.Core != nil && sp.DispatchCost > 0 {
 		sp.Core.Exec(sp.DispatchCost, "mflow-split")
 	}

@@ -57,6 +57,12 @@ type Reassembler struct {
 	// splitter where a micro-flow was routed, distinguishing "still in
 	// flight" from "lost upstream" (see Splitter.Route).
 	RouteOf func(mf uint64) (int, RouteState)
+	// Budget, when positive, hard-bounds parked skbs: after each arrival
+	// pumps, buffered heads are force-released (the gap-timeout path, out
+	// of band) until occupancy returns to the budget — graceful degradation
+	// instead of unbounded growth. Releases are counted in BudgetReleased
+	// on top of HolesReleased.
+	Budget int
 
 	// OOOSegments counts wire segments that arrived at the merge point
 	// while an earlier segment was still outstanding — the paper's
@@ -72,6 +78,8 @@ type Reassembler struct {
 	StaleSKBs uint64
 	// HolesReleased counts gap-timeout force-releases.
 	HolesReleased uint64
+	// BudgetReleased counts force-releases caused by the Budget bound.
+	BudgetReleased uint64
 	// Errors counts contiguity violations recorded in non-Strict mode;
 	// FirstErr keeps the first one for diagnostics.
 	Errors   uint64
@@ -173,6 +181,10 @@ func (r *Reassembler) Arrive(s *skb.SKB) error {
 	r.blamePkt = s.PktID
 	r.pump()
 	r.blamePkt = 0
+	for r.Budget > 0 && r.buffered > r.Budget {
+		r.BudgetReleased++
+		r.releaseHole()
+	}
 	if r.buffered > 0 {
 		r.armGapTimer()
 	}

@@ -62,12 +62,41 @@ type NIC struct {
 	// the anomaly flight recorder; nil in unprobed runs.
 	OnDrop func(*skb.SKB)
 
+	// Admit, when set, is the overload subsystem's memory-accounting gate:
+	// it is consulted after PktID/ArrivedAt are stamped and before the ring
+	// enqueue. Returning false drops the frame at admission (counted in
+	// AdmissionDropped, distinct from ring overrun in Dropped) — the
+	// simulator's net.core.rmem / tcp_mem budget check. Nil admits all.
+	Admit func(*skb.SKB) bool
+
+	// PerFrameIRQ switches the NIC to interrupt-per-frame delivery: the IRQ
+	// cost is charged for EVERY offered frame (accepted or not) instead of
+	// only on idle→busy ring transitions — the pre-NAPI regime in which
+	// receive livelock occurs (Mogul & Ramakrishnan). MaskIRQs suppresses
+	// the charge while the driver runs in polling mode.
+	PerFrameIRQ bool
+	irqMasked   bool
+
 	// Received counts frames accepted into a ring; Dropped counts ring
-	// overruns; IRQs counts hardware interrupts raised.
-	Received uint64
-	Dropped  uint64
-	IRQs     uint64
+	// overruns; IRQs counts hardware interrupts raised. Offered counts every
+	// frame presented to the NIC and AdmissionDropped those the Admit gate
+	// rejected, so Offered == Received + Dropped + AdmissionDropped always
+	// holds (drop-accounting conservation; asserted in the chaos matrix).
+	Received         uint64
+	Dropped          uint64
+	IRQs             uint64
+	Offered          uint64
+	AdmissionDropped uint64
 }
+
+// MaskIRQs enables or disables interrupt masking: while masked no IRQ cost
+// is charged and no IRQ counted — the driver is expected to poll on its own
+// schedule (worker kicks still schedule poll rounds, which is exactly
+// budgeted polling mode).
+func (n *NIC) MaskIRQs(masked bool) { n.irqMasked = masked }
+
+// IRQsMasked reports whether interrupts are currently masked.
+func (n *NIC) IRQsMasked() bool { return n.irqMasked }
 
 // PinFlow steers a flow to a fixed queue, overriding the RSS hash — the
 // simulator's equivalent of an ethtool n-tuple steering rule, used by the
@@ -130,6 +159,7 @@ func (n *NIC) QueueFor(flowID uint64) int {
 // Deliver places an arriving frame into its queue's ring, raising an IRQ if
 // NAPI was idle. It reports whether the frame was accepted.
 func (n *NIC) Deliver(s *skb.SKB) bool {
+	n.Offered++
 	q := n.QueueFor(s.FlowID)
 	w := n.drivers[q]
 	if w == nil {
@@ -139,6 +169,22 @@ func (n *NIC) Deliver(s *skb.SKB) bool {
 	s.ArrivedAt = n.sched.Now()
 	n.pktSeq++
 	s.PktID = n.pktSeq
+	if n.PerFrameIRQ && !n.irqMasked {
+		// Interrupt-per-frame: the top half runs for every arrival before
+		// the frame even reaches the ring — dropped frames still cost their
+		// interrupt, which is the livelock mechanism.
+		n.IRQs++
+		if n.cfg.IRQCost > 0 {
+			w.Core.Exec(n.cfg.IRQCost, "irq")
+		}
+	}
+	if n.Admit != nil && !n.Admit(s) {
+		n.AdmissionDropped++
+		if n.OnDrop != nil {
+			n.OnDrop(s)
+		}
+		return false
+	}
 	wasIdle := w.Idle()
 	if !w.Enqueue(s) {
 		n.Dropped++
@@ -148,7 +194,7 @@ func (n *NIC) Deliver(s *skb.SKB) bool {
 		return false
 	}
 	n.Received++
-	if wasIdle {
+	if wasIdle && !n.PerFrameIRQ && !n.irqMasked {
 		// The IRQ top half runs on the queue's core; NAPI (the worker
 		// poll) follows after IRQDelay, which Worker already applies.
 		n.IRQs++

@@ -65,6 +65,10 @@ func TestChaosMatrix(t *testing.T) {
 			if r.FaultsInjected == 0 {
 				t.Fatal("injector idle: the fault plan was not wired")
 			}
+			if r.OfferedFrames != r.AcceptedFrames+r.DropsRing+r.DropsAdmission {
+				t.Fatalf("frame conservation violated: offered=%d != accepted=%d + ring=%d + admission=%d",
+					r.OfferedFrames, r.AcceptedFrames, r.DropsRing, r.DropsAdmission)
+			}
 			if c.proto == skb.TCP {
 				if r.DeliveredOutOfOrder != 0 {
 					t.Fatalf("TCP delivered %d skbs out of order", r.DeliveredOutOfOrder)

@@ -30,6 +30,12 @@ func (r *Result) Fingerprint() string {
 		r.StaleReleased, r.HolesReleased, r.OFOPruned, r.TCPDupSegments, r.ReassemblyErrors, r.ReassemblyErr)
 	fmt.Fprintf(&b, "gro=%s kcpu_total=%s kcpu_stddev=%s\n",
 		f(r.GROFactor), f(r.KernelCPUTotal), f(r.KernelCPUStddev))
+	fmt.Fprintf(&b, "overload offered=%d accepted=%d adm=%d aqm=%d gated=%d poll_in=%d poll_out=%d resteers=%d resteered=%d collapses=%d restores=%d budget_rel=%d rec_max=%d mem_peak=%d sojourn_p99=%d\n",
+		r.OfferedFrames, r.AcceptedFrames, r.DropsAdmission, r.DropsAQM,
+		r.OverloadGated, r.PollModeEntered, r.PollModeExited,
+		r.WatchdogResteers, r.WatchdogResteeredSKBs,
+		r.DegradeCollapses, r.DegradeRestores, r.ReasmBudgetReleased,
+		r.WatchdogRecoveryMaxNs, r.MemPeakBytes, r.AQMSojournP99)
 	if r.Latency != nil {
 		fmt.Fprintf(&b, "latency count=%d sum=%s min=%d p50=%d p99=%d max=%d\n",
 			r.Latency.Count(), f(r.Latency.Sum()),

@@ -1,0 +1,248 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"mflow/internal/fault"
+	"mflow/internal/harness"
+	"mflow/internal/obs"
+	"mflow/internal/overload"
+	"mflow/internal/sim"
+	"mflow/internal/skb"
+	"mflow/internal/steering"
+)
+
+// overloadScenario is one cell of the overload matrix: the chaos windows
+// with an overload config attached.
+func overloadScenario(sys steering.System, proto skb.Proto, cfg *overload.Config) Scenario {
+	return Scenario{
+		System: sys, Proto: proto, MsgSize: 65536,
+		Warmup: 2 * sim.Millisecond, Measure: 6 * sim.Millisecond,
+		Overload: cfg,
+	}
+}
+
+// TestOverloadKeyAndFingerprintPure pins the probe-purity contract: a nil
+// Overload config and a zero-valued one are both "disabled" — same scenario
+// key (with no trace of the field) and bit-identical runs — while an enabled
+// config must change the key so bench caching can't conflate the two.
+func TestOverloadKeyAndFingerprintPure(t *testing.T) {
+	base := overloadScenario(steering.MFlow, skb.TCP, nil)
+	zeroed := overloadScenario(steering.MFlow, skb.TCP, &overload.Config{})
+	if base.Key() != zeroed.Key() {
+		t.Fatalf("zero overload config changed the scenario key:\n  nil:  %s\n  zero: %s",
+			base.Key(), zeroed.Key())
+	}
+	if strings.Contains(base.Key(), "verload") {
+		t.Fatalf("disabled scenario key leaks the overload field: %s", base.Key())
+	}
+	enabled := overloadScenario(steering.MFlow, skb.TCP, &overload.Config{CoDelTarget: 100 * sim.Microsecond})
+	if enabled.Key() == base.Key() {
+		t.Fatal("enabled overload config did not change the scenario key")
+	}
+
+	a := Run(overloadScenario(steering.MFlow, skb.TCP, nil)).Fingerprint()
+	b := Run(overloadScenario(steering.MFlow, skb.TCP, &overload.Config{})).Fingerprint()
+	if a != b {
+		t.Fatalf("zero overload config perturbed the run:\n--- nil ---\n%s\n--- zero ---\n%s", a, b)
+	}
+}
+
+// TestOverloadDeterminism runs every system × protocol × overload profile
+// twice serially and once under the 8-worker harness pool: the manager's
+// tick, AQM, polling-mode and watchdog decisions all run in sim-time, so
+// managed runs must stay bit-identical like unmanaged ones.
+func TestOverloadDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full system x profile matrix three times")
+	}
+	profiles := overload.Profiles()
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type cell struct {
+		sys   steering.System
+		proto skb.Proto
+		name  string
+	}
+	var cells []cell
+	for _, sys := range steering.ExtendedSystems {
+		for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+			for _, name := range names {
+				cells = append(cells, cell{sys, proto, name})
+			}
+		}
+	}
+	mk := func(c cell) Scenario {
+		sc := overloadScenario(c.sys, c.proto, profiles[c.name])
+		sc.Warmup, sc.Measure = sim.Millisecond, 2*sim.Millisecond
+		sc.Obs = obs.New()
+		return sc
+	}
+
+	first := make([]string, len(cells))
+	for i, c := range cells {
+		first[i] = Run(mk(c)).Fingerprint()
+	}
+	for i, c := range cells {
+		if fp := Run(mk(c)).Fingerprint(); fp != first[i] {
+			t.Errorf("%s/%s/%s: second serial run diverged:\n--- first ---\n%s\n--- second ---\n%s",
+				c.sys, c.proto, c.name, first[i], fp)
+		}
+	}
+	parallel := harness.Map(8, cells, func(_ int, c cell) string {
+		return Run(mk(c)).Fingerprint()
+	})
+	for i, c := range cells {
+		if parallel[i] != first[i] {
+			t.Errorf("%s/%s/%s: harness run diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				c.sys, c.proto, c.name, first[i], parallel[i])
+		}
+	}
+}
+
+// TestOverloadChaosMatrix is the combined acceptance harness: bursty loss,
+// core stalls and 2x offered load with the full pressure profile engaged.
+// Every system × protocol must keep delivering, preserve TCP ordering, obey
+// frame conservation, and keep the AQM's p99 backlog sojourn within an order
+// of magnitude of the CoDel target.
+func TestOverloadChaosMatrix(t *testing.T) {
+	cfg := overload.Profiles()["pressure"]
+
+	type cell struct {
+		sys   steering.System
+		proto skb.Proto
+	}
+	var cells []cell
+	for _, sys := range steering.ExtendedSystems {
+		for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+			cells = append(cells, cell{sys, proto})
+		}
+	}
+	results := harness.Map(8, cells, func(_ int, c cell) *Result {
+		sc := overloadScenario(c.sys, c.proto, cfg)
+		// 2x offered load relative to the defaults, plus bursty loss and
+		// core stalls on top.
+		sc.Window = 4096
+		sc.UDPClients = 6
+		plan := *fault.ChaosProfiles()["burst"]
+		plan.StallProb = 0.01
+		plan.StallMean = 20 * sim.Microsecond
+		sc.Faults = &plan
+		return Run(sc)
+	})
+	for i, c := range cells {
+		r := results[i]
+		t.Run(fmt.Sprintf("%s/%s", c.sys, c.proto), func(t *testing.T) {
+			if r.DeliveredSegments == 0 {
+				t.Fatal("flow stalled: nothing delivered under overload")
+			}
+			if c.proto == skb.TCP && r.DeliveredOutOfOrder != 0 {
+				t.Fatalf("TCP delivered %d skbs out of order under overload", r.DeliveredOutOfOrder)
+			}
+			if r.OfferedFrames != r.AcceptedFrames+r.DropsRing+r.DropsAdmission {
+				t.Fatalf("frame conservation violated: offered=%d != accepted=%d + ring=%d + admission=%d",
+					r.OfferedFrames, r.AcceptedFrames, r.DropsRing, r.DropsAdmission)
+			}
+			if r.AQMSojournP99 > 10*int64(cfg.CoDelTarget) {
+				t.Fatalf("AQM failed to control queueing: p99 sojourn %dns > 10x CoDel target %dns",
+					r.AQMSojournP99, int64(cfg.CoDelTarget))
+			}
+		})
+	}
+}
+
+// TestWatchdogResteersStalledBranch injects long core stalls into a split
+// UDP flow and requires the watchdog to notice and re-steer pending
+// micro-flows, with the recorded stall→recovery interval bounded in
+// sim-time (well inside the run window).
+func TestWatchdogResteersStalledBranch(t *testing.T) {
+	sc := overloadScenario(steering.MFlow, skb.UDP, &overload.Config{
+		WatchdogStall: 200 * sim.Microsecond,
+	})
+	sc.Faults = &fault.Plan{StallProb: 0.05, StallMean: 500 * sim.Microsecond}
+	r := Run(sc)
+	if r.WatchdogResteers == 0 {
+		t.Fatal("watchdog never re-steered despite 500us core stalls")
+	}
+	if r.WatchdogResteeredSKBs == 0 {
+		t.Fatal("watchdog re-steered but moved no skbs")
+	}
+	if r.DeliveredSegments == 0 {
+		t.Fatal("flow stalled despite watchdog")
+	}
+	if max := int64(4 * sim.Millisecond); r.WatchdogRecoveryMaxNs > max {
+		t.Fatalf("stall recovery took %dns, over the %dns bound", r.WatchdogRecoveryMaxNs, max)
+	}
+}
+
+// TestLivelockMitigation reproduces the receive-livelock experiment: with
+// interrupt-per-frame delivery and heavy offered load, masked-IRQ polling
+// mode must deliver at least as much as the unmitigated run while taking
+// far fewer interrupts.
+func TestLivelockMitigation(t *testing.T) {
+	mk := func(mitigated bool) *Result {
+		sc := overloadScenario(steering.Vanilla, skb.UDP, overload.LivelockConfig(mitigated))
+		sc.UDPClients = 8
+		sc.Obs = obs.New()
+		return Run(sc)
+	}
+	raw, polled := mk(false), mk(true)
+	if polled.DeliveredBytes < raw.DeliveredBytes {
+		t.Fatalf("polling mode delivered less than livelocked run: %d < %d bytes",
+			polled.DeliveredBytes, raw.DeliveredBytes)
+	}
+	if ri, pi := raw.Obs["nic_irqs"].Value, polled.Obs["nic_irqs"].Value; pi >= ri {
+		t.Fatalf("polling mode did not shed interrupts: %v IRQs vs %v unmitigated", pi, ri)
+	}
+}
+
+// FuzzOverload varies the overload knobs and seed on a short split-flow run:
+// whatever the budgets and thresholds, the run must not panic, must conserve
+// frames, and must never deliver TCP data out of order.
+func FuzzOverload(f *testing.F) {
+	f.Add(int64(2<<20), int64(100), int64(512), int64(42), true)
+	f.Add(int64(0), int64(0), int64(0), int64(1), false)
+	f.Add(int64(4096), int64(1), int64(1), int64(7), true)
+	f.Add(int64(-5), int64(-3), int64(-1), int64(3), false)
+	f.Fuzz(func(t *testing.T, memBytes, targetUS, reasmBudget, seed int64, tcp bool) {
+		if memBytes > 64<<20 || targetUS > 1e6 || reasmBudget > 1<<20 {
+			t.Skip("budgets beyond any realistic configuration")
+		}
+		cfg := &overload.Config{
+			WatchdogStall: 200 * sim.Microsecond,
+		}
+		if memBytes > 0 {
+			cfg.MemBytes = int(memBytes)
+			cfg.MemSKBs = 4096
+		}
+		if targetUS > 0 {
+			cfg.CoDelTarget = sim.Duration(targetUS) * sim.Microsecond
+		}
+		if reasmBudget > 0 {
+			cfg.ReasmBudget = int(reasmBudget)
+			cfg.OFOBudget = int(reasmBudget)
+		}
+		proto := skb.UDP
+		if tcp {
+			proto = skb.TCP
+		}
+		sc := overloadScenario(steering.MFlow, proto, cfg)
+		sc.Warmup, sc.Measure = sim.Millisecond/2, sim.Millisecond
+		sc.Seed = uint64(seed)
+		r := Run(sc)
+		if r.OfferedFrames != r.AcceptedFrames+r.DropsRing+r.DropsAdmission {
+			t.Fatalf("frame conservation violated: offered=%d != accepted=%d + ring=%d + admission=%d",
+				r.OfferedFrames, r.AcceptedFrames, r.DropsRing, r.DropsAdmission)
+		}
+		if proto == skb.TCP && r.DeliveredOutOfOrder != 0 {
+			t.Fatalf("TCP delivered %d skbs out of order", r.DeliveredOutOfOrder)
+		}
+	})
+}

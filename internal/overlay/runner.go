@@ -37,6 +37,15 @@ type snapshot struct {
 	retx, rtoTO, fastRetx   uint64
 	dupSegs, ofoPruned      uint64
 	stale, holes, reasmErrs uint64
+
+	// NIC admission accounting (always measured) and overload-control
+	// counters (zero unless the scenario enables overload control).
+	offered, accepted, admission uint64
+	aqmDrops, ovGated            uint64
+	pollEntered, pollExited      uint64
+	resteers, resteeredSKBs      uint64
+	collapses, restores          uint64
+	budgetReleased               uint64
 }
 
 func (h *host) counters() snapshot {
@@ -65,6 +74,7 @@ func (h *host) counters() snapshot {
 			s.switches += fp.reasm.Switches
 			s.stale += fp.reasm.StaleSKBs
 			s.holes += fp.reasm.HolesReleased
+			s.budgetReleased += fp.reasm.BudgetReleased
 			s.reasmErrs += fp.reasm.Errors
 			if fp.udpRx != nil {
 				s.deliveredOOO += fp.udpRx.OOOArrivals
@@ -77,12 +87,25 @@ func (h *host) counters() snapshot {
 		s.reasmErrs += fp.arriveErrs
 	}
 	s.ring = h.nic.Dropped
+	s.offered = h.nic.Offered
+	s.accepted = h.nic.Received
+	s.admission = h.nic.AdmissionDropped
 	for _, st := range h.stages {
 		s.backlog += st.worker.Dropped
 	}
 	if h.inj != nil {
 		s.faults = h.inj.Total()
 		s.faultDrops = h.inj.Drops()
+	}
+	if h.ov != nil {
+		s.aqmDrops = h.ov.aqmDrops()
+		s.ovGated = h.ov.gated
+		s.pollEntered = h.ov.pollEntered
+		s.pollExited = h.ov.pollExited
+		s.resteers = h.ov.resteers
+		s.resteeredSKBs = h.ov.resteeredSKBs
+		s.collapses = h.ov.collapses
+		s.restores = h.ov.restores
 	}
 	return s
 }
@@ -102,6 +125,11 @@ func (h *host) run() *Result {
 	obs0 := sc.Obs.Snapshot()
 	for _, fp := range h.flows {
 		fp.sock.Latency.Reset()
+	}
+	if h.ov != nil {
+		// The AQM sojourn distribution covers the measured window only,
+		// like the latency histograms.
+		h.ov.sojourn.Reset()
 	}
 	// Like the latency histograms, causal aggregates cover the measured
 	// window only; in-flight attribution records survive the reset.
@@ -157,6 +185,23 @@ func (h *host) run() *Result {
 	res.OFOPruned = snap1.ofoPruned - snap0.ofoPruned
 	res.TCPDupSegments = snap1.dupSegs - snap0.dupSegs
 	res.ReassemblyErrors = snap1.reasmErrs - snap0.reasmErrs
+	res.OfferedFrames = snap1.offered - snap0.offered
+	res.AcceptedFrames = snap1.accepted - snap0.accepted
+	res.DropsAdmission = snap1.admission - snap0.admission
+	res.DropsAQM = snap1.aqmDrops - snap0.aqmDrops
+	res.OverloadGated = snap1.ovGated - snap0.ovGated
+	res.PollModeEntered = snap1.pollEntered - snap0.pollEntered
+	res.PollModeExited = snap1.pollExited - snap0.pollExited
+	res.WatchdogResteers = snap1.resteers - snap0.resteers
+	res.WatchdogResteeredSKBs = snap1.resteeredSKBs - snap0.resteeredSKBs
+	res.DegradeCollapses = snap1.collapses - snap0.collapses
+	res.DegradeRestores = snap1.restores - snap0.restores
+	res.ReasmBudgetReleased = snap1.budgetReleased - snap0.budgetReleased
+	if h.ov != nil {
+		res.WatchdogRecoveryMaxNs = int64(h.ov.recoveryMax)
+		res.MemPeakBytes = h.ov.acct.PeakBytes
+		res.AQMSojournP99 = h.ov.sojourn.P99()
+	}
 	for _, fp := range h.flows {
 		if res.ReassemblyErr == nil && fp.reasm != nil {
 			res.ReassemblyErr = fp.reasm.FirstErr
@@ -211,6 +256,13 @@ func (h *host) syncObs() {
 	reg.Counter("nic_received").Set(h.nic.Received)
 	reg.Counter("nic_dropped").Set(h.nic.Dropped)
 	reg.Counter("nic_irqs").Set(h.nic.IRQs)
+	// The three NIC drop paths stay distinct: nic_dropped is descriptor-ring
+	// overrun, nic_admission_dropped the overload memory budget's rejections
+	// (before the ring), and aqm_dropped below the CoDel discards at backlog
+	// and splitting queues. nic_offered counts every frame presented, so
+	// offered == received + dropped + admission_dropped always holds.
+	reg.Counter("nic_offered").Set(h.nic.Offered)
+	reg.Counter("nic_admission_dropped").Set(h.nic.AdmissionDropped)
 
 	// Per-stage backlog totals, aggregated across same-named stages
 	// (parallel branches, multiple flows).
@@ -277,5 +329,21 @@ func (h *host) syncObs() {
 		reg.Counter("ofo_pruned").Set(s.ofoPruned)
 		reg.Counter("tcp_dup_segments").Set(s.dupSegs)
 		reg.Counter("reassembly_errors").Set(s.reasmErrs)
+	}
+
+	// Overload-control counters (see Result's field docs for semantics).
+	if ov := h.ov; ov != nil {
+		s := h.counters()
+		reg.Counter("aqm_dropped").Set(s.aqmDrops)
+		reg.Counter("overload_gated").Set(s.ovGated)
+		reg.Counter("poll_mode_entered").Set(s.pollEntered)
+		reg.Counter("poll_mode_exited").Set(s.pollExited)
+		reg.Counter("watchdog_resteers").Set(s.resteers)
+		reg.Counter("watchdog_resteered_skbs").Set(s.resteeredSKBs)
+		reg.Counter("degrade_collapses").Set(s.collapses)
+		reg.Counter("degrade_restores").Set(s.restores)
+		reg.Counter("reasm_budget_released").Set(s.budgetReleased)
+		reg.Counter("mem_charged").Set(ov.acct.Charged)
+		reg.Counter("mem_released").Set(ov.acct.Released)
 	}
 }

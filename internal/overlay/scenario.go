@@ -3,11 +3,13 @@ package overlay
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"mflow/internal/causal"
 	"mflow/internal/fault"
 	"mflow/internal/metrics"
 	"mflow/internal/obs"
+	"mflow/internal/overload"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
 	"mflow/internal/steering"
@@ -161,6 +163,15 @@ type Scenario struct {
 	// out-of-order queue is bounded. A nil or all-zero plan wires nothing,
 	// leaving the run bit-for-bit identical to a fault-free one.
 	Faults *fault.Plan
+	// Overload, when non-nil and enabled, wires the deterministic
+	// overload-control subsystem (internal/overload): global skb memory
+	// accounting at NIC admission, CoDel-style AQM on backlog and
+	// splitting queues, receive-livelock mitigation (interrupt-per-frame
+	// with polling-mode masking), reassembler graceful degradation, and
+	// the stall watchdog that re-steers micro-flows off stalled cores.
+	// A nil or zero config wires nothing, leaving the run bit-for-bit
+	// identical to one without the subsystem (Key unchanged).
+	Overload *overload.Config
 	// Seed makes the run deterministic.
 	Seed uint64
 	// Warmup precedes measurement; Measure is the measured window.
@@ -232,13 +243,26 @@ func (sc Scenario) Key() string {
 			faults = fmt.Sprintf("%+v", f)
 		}
 	}
+	ov := ""
+	if sc.Overload.Enabled() {
+		ov = fmt.Sprintf("%+v", *sc.Overload)
+	}
 	sc.Costs = nil
 	sc.Faults = nil
 	sc.Obs = nil
 	sc.Tracer = nil
 	sc.CoreLog = nil
 	sc.Capture = nil
-	return fmt.Sprintf("%+v|costs={%s}|faults={%s}", sc, costs, faults)
+	sc.Overload = nil
+	key := fmt.Sprintf("%+v|costs={%s}|faults={%s}", sc, costs, faults)
+	// Strip the nil Overload field from the rendering so every key minted
+	// before the overload subsystem existed stays byte-identical; enabled
+	// configs append their own block (by value, like costs and faults).
+	key = strings.Replace(key, " Overload:<nil>", "", 1)
+	if ov != "" {
+		key += fmt.Sprintf("|overload={%s}", ov)
+	}
+	return key
 }
 
 // Name renders a compact scenario identifier.
@@ -346,6 +370,43 @@ type Result struct {
 	DeliveredSegments uint64
 	// GROFactor is the achieved merge factor.
 	GROFactor float64
+
+	// NIC admission accounting (always measured): OfferedFrames counts
+	// every frame presented to the NIC over the window, AcceptedFrames
+	// those a descriptor ring accepted, and DropsAdmission those the
+	// overload memory budget rejected before the ring. Conservation holds:
+	// OfferedFrames == AcceptedFrames + DropsRing + DropsAdmission.
+	OfferedFrames  uint64
+	AcceptedFrames uint64
+	DropsAdmission uint64
+
+	// Overload-control counters, all zero unless Scenario.Overload is
+	// enabled. DropsAQM counts CoDel discards across backlog and splitting
+	// queues (distinct from tail-drop DropsBacklog); OverloadGated counts
+	// enqueues refused by the critical-pressure admission gate.
+	DropsAQM      uint64
+	OverloadGated uint64
+	// PollModeEntered / PollModeExited count livelock-mitigation
+	// transitions (IRQs masked / unmasked).
+	PollModeEntered uint64
+	PollModeExited  uint64
+	// WatchdogResteers counts stalled-branch rescues; WatchdogResteeredSKBs
+	// the skbs moved; WatchdogRecoveryMaxNs the longest observed stall
+	// detection→recovery interval in sim-ns.
+	WatchdogResteers      uint64
+	WatchdogResteeredSKBs uint64
+	WatchdogRecoveryMaxNs int64
+	// DegradeCollapses / DegradeRestores count splitting-degree collapses
+	// to 1 (≈ RPS) and parallelism restorations; ReasmBudgetReleased the
+	// skbs the reassembler force-released over its memory budget.
+	DegradeCollapses    uint64
+	DegradeRestores     uint64
+	ReasmBudgetReleased uint64
+	// MemPeakBytes is the skb memory account's high-water mark;
+	// AQMSojournP99 the p99 queue sojourn (ns) the AQM observed over the
+	// measured window.
+	MemPeakBytes  int
+	AQMSojournP99 int64
 
 	// Breakdown is the measured-window causal latency decomposition,
 	// aggregated per (segment kind, stage) across delivered packets. Nil

@@ -5,6 +5,7 @@ import (
 	"mflow/internal/gro"
 	"mflow/internal/metrics"
 	"mflow/internal/netdev"
+	"mflow/internal/overload"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
 	"mflow/internal/trace"
@@ -52,8 +53,16 @@ type stage struct {
 	outH stageOutH
 
 	// pool recycles skbs this stage drops at its admission queue (nil =
-	// no pooling).
-	pool *skb.Pool
+	// no pooling). release, when overload control is wired, returns a
+	// dropped skb's memory charge before the pool reuses it.
+	pool    *skb.Pool
+	release func(*skb.SKB)
+
+	// aqm, when overload control configures the CoDel AQM, applies the
+	// control law to each drained batch; aqmSojourn records every
+	// measured queue sojourn (shared across the run's managed stages).
+	aqm        *overload.CoDel
+	aqmSojourn *metrics.Histogram
 
 	// prof, when a run is probed, switches processing to the instrumented
 	// twin of process(); nil costs one branch per poll round. ringFed
@@ -93,10 +102,53 @@ func newStage(name string, coreC *sim.Core, sched *sim.Scheduler, cfg *CostModel
 
 func (st *stage) core() *sim.Core { return st.worker.Core }
 
+// retire returns a dropped skb to the pool, first releasing its overload
+// memory charge when accounting is wired. Both hooks tolerate absence, so
+// bare stages (tests) and unpooled runs work unchanged.
+func (st *stage) retire(s *skb.SKB) {
+	if st.release != nil {
+		st.release(s)
+	}
+	st.pool.Put(s)
+}
+
+// aqmFilter applies the CoDel control law to a drained batch: each skb's
+// queue sojourn (dequeue minus QueuedAt) is measured, skbs the law discards
+// retire before any device work is charged, and survivors' sojourns are
+// recorded (the histogram is the delivered path's queueing delay). Called
+// identically at the top of process and processProfiled so the probed twin
+// stays in sync.
+func (st *stage) aqmFilter(batch []*skb.SKB) []*skb.SKB {
+	now := st.sched.Now()
+	kept := batch[:0]
+	for _, s := range batch {
+		var sojourn sim.Duration
+		if s.QueuedAt > 0 {
+			sojourn = now.Sub(s.QueuedAt)
+		}
+		if st.aqm.Drop(sojourn, now) {
+			if p := st.prof; p != nil {
+				p.Drop(s, now, st.name)
+			}
+			if st.onDrop != nil {
+				st.onDrop(s)
+			}
+			st.retire(s)
+			continue
+		}
+		st.aqmSojourn.Record(int64(sojourn))
+		kept = append(kept, s)
+	}
+	return kept
+}
+
 func (st *stage) process(batch []*skb.SKB) {
 	if st.prof != nil {
 		st.processProfiled(batch)
 		return
+	}
+	if st.aqm != nil {
+		batch = st.aqmFilter(batch)
 	}
 	c := st.worker.Core
 	if st.obsOn {
@@ -146,6 +198,9 @@ func (st *stage) process(batch []*skb.SKB) {
 // edit here must mirror process() — the probed-vs-unprobed fingerprint test
 // pins the two in sync.
 func (st *stage) processProfiled(batch []*skb.SKB) {
+	if st.aqm != nil {
+		batch = st.aqmFilter(batch)
+	}
 	c := st.worker.Core
 	p := st.prof
 	wd := st.worker.WakeDelay
@@ -227,6 +282,7 @@ func (st *stage) feed() func(*skb.SKB, sim.Time) {
 		if p := st.prof; p != nil && st.worker.Idle() {
 			p.NoteIdleWake(s)
 		}
+		s.QueuedAt = st.sched.Now()
 		if !st.worker.Enqueue(s) {
 			if p := st.prof; p != nil {
 				p.Drop(s, st.sched.Now(), st.name)
@@ -234,7 +290,7 @@ func (st *stage) feed() func(*skb.SKB, sim.Time) {
 			if st.onDrop != nil {
 				st.onDrop(s)
 			}
-			st.pool.Put(s)
+			st.retire(s)
 		}
 	}
 }

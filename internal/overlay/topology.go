@@ -45,6 +45,7 @@ type host struct {
 	gros    []*gro.GRO
 	capture *pcap.Writer
 	inj     *fault.Injector // nil unless sc.Faults is enabled
+	ov      *ovState        // nil unless sc.Overload is enabled
 
 	// pool recycles the run's SKBs (nil when pooling is disabled). One
 	// pool per host per run — never shared across Schedulers.
@@ -104,8 +105,19 @@ type nicDeliverH struct{ h *host }
 func (d nicDeliverH) Handle(arg any, _ sim.Time) {
 	s := arg.(*skb.SKB)
 	if !d.h.nic.Deliver(s) {
-		d.h.pool.Put(s)
+		d.h.retire(s)
 	}
+}
+
+// retire is the host's terminal recycle funnel: it releases any overload
+// memory charge the skb still carries, then returns it to the pool. Both
+// steps tolerate absence (no overload manager, no pool), so every terminal
+// point — socket delivery, drops, GRO absorption — routes through it.
+func (h *host) retire(s *skb.SKB) {
+	if h.ov != nil {
+		h.ov.acct.Release(s)
+	}
+	h.pool.Put(s)
 }
 
 // flowPath is one flow's receive pipeline endpoints and sources.
@@ -222,6 +234,9 @@ func (h *host) newClientCore() *sim.Core {
 func (h *host) newStageT(name string, coreC *sim.Core, cap int, wake sim.Duration) *stage {
 	st := newStage(name, coreC, h.sched, h.sc.Costs, cap, wake)
 	st.pool = h.pool
+	if h.ov != nil {
+		st.release = h.ov.acct.Release
+	}
 	st.tracer = h.sc.Tracer
 	if reg := h.sc.Obs; reg != nil {
 		st.obsOn = true
@@ -247,6 +262,11 @@ func buildHost(sc Scenario, pr Probes) *host {
 	}
 	if sc.Faults.Enabled() {
 		h.inj = fault.NewInjector(*sc.Faults, sc.Seed)
+	}
+	if sc.Overload.Enabled() {
+		// Built before the flows so stage construction can wire the memory
+		// account's release hook; the manager itself arms after armCausal.
+		h.ov = newOvState(h, *sc.Overload)
 	}
 	cfg := sc.Costs
 	total := sc.AppCores + sc.KernelCores
@@ -286,8 +306,11 @@ func buildHost(sc Scenario, pr Probes) *host {
 	// Wire the pool's recycle points now that the full topology exists:
 	// final user-space delivery, TCP duplicate/prune discards, GRO-absorbed
 	// segments, and splitting-queue rejections all return their skbs here.
-	if h.pool != nil {
-		put := h.pool.Put
+	// With overload control wired the hooks are needed even without a pool
+	// (every terminal point must release its memory charge), so they route
+	// through the retire funnel.
+	if h.pool != nil || h.ov != nil {
+		put := h.retire
 		for _, g := range h.gros {
 			g.Recycle = put
 		}
@@ -304,8 +327,11 @@ func buildHost(sc Scenario, pr Probes) *host {
 
 	// Causal probes wire last: their hooks chain after the recycle points
 	// above (the profiler must close a record before the pool reuses the
-	// skb) and after each flow's tracing tap.
+	// skb) and after each flow's tracing tap. The overload manager arms
+	// after them so its admission gates chain onto any fault gates and its
+	// drops are visible to the probes.
 	h.armCausal()
+	h.armOverload()
 
 	// Register queue-depth probes once the full topology exists: the NIC
 	// descriptor rings, every softirq backlog (keyed by stage name and a
@@ -459,7 +485,11 @@ func (h *host) buildFlow(f int) {
 			Cost:     clientCostTCP,
 			Pool:     h.pool,
 		}
-		if h.inj != nil {
+		// Overload control drops packets too (admission budget, AQM,
+		// pressure gates), so it needs the reliable sender for the same
+		// reason fault injection does: an unrecovered hole deadlocks the
+		// window.
+		if h.inj != nil || h.ov != nil {
 			tx.Reliable = true
 			tx.InitialRTO = sc.Faults.RTOOrDefault()
 			if fp.tcpRx != nil {
@@ -545,7 +575,7 @@ func (h *host) dropSock(fp *flowPath, s *skb.SKB) {
 	if fr := h.flight; fr != nil {
 		fr.Trigger("drop-sock", s.PktID, fp.id, h.sched.Now())
 	}
-	h.pool.Put(s)
+	h.retire(s)
 }
 
 // armCausal attaches the run's probes — the causal profiler and/or the

@@ -1,0 +1,92 @@
+package overload
+
+import (
+	"math"
+
+	"mflow/internal/sim"
+)
+
+// CoDel is the controlled-delay AQM state machine (Nichols & Jacobson,
+// CACM 2012) over simulated time. The caller measures each dequeued
+// packet's queue sojourn and asks Drop; CoDel answers from two rules:
+//
+//   - Entry: once the sojourn has stayed at or above Target for a full
+//     Interval, enter drop state and drop the head.
+//   - Control law: while in drop state, drop again at intervals of
+//     Interval/sqrt(count), so persistent standing queues see steadily
+//     increasing drop pressure; leaving the target region resets.
+//   - Overlimit: a sojourn of a full Interval or more is itself proof of a
+//     standing queue — drop immediately without waiting out the entry rule
+//     (the analogue of fq_codel's overlimit shedding, and what keeps the
+//     delivered-path sojourn bounded under sustained overload the sqrt law
+//     alone cannot pace down).
+//
+// All state is deterministic simulated time — no wall clock, no
+// randomness — so AQM'd runs fingerprint identically across replays.
+type CoDel struct {
+	// Target is the acceptable standing-queue sojourn; Interval the
+	// window sojourns must exceed it for before dropping starts.
+	Target   sim.Duration
+	Interval sim.Duration
+
+	// Drops counts packets the control law discarded.
+	Drops uint64
+
+	firstAbove sim.Time // when sojourn first exceeded Target (0 = not yet)
+	dropNext   sim.Time // next scheduled drop while in drop state
+	dropping   bool
+	count      int // drops in the current drop state (drives the sqrt law)
+	lastCount  int
+}
+
+// Drop reports whether the packet dequeued now with the given queue
+// sojourn should be discarded.
+func (c *CoDel) Drop(sojourn sim.Duration, now sim.Time) bool {
+	if c == nil || c.Target <= 0 {
+		return false
+	}
+	if sojourn < c.Target {
+		c.firstAbove = 0
+		c.dropping = false
+		return false
+	}
+	if c.Interval > 0 && sojourn >= c.Interval {
+		c.Drops++
+		return true
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now.Add(c.Interval)
+		return false
+	}
+	if !c.dropping {
+		if now < c.firstAbove {
+			return false
+		}
+		// Sojourn stayed above target for a full interval: enter drop
+		// state. Re-entering shortly after leaving resumes near the
+		// previous drop rate instead of restarting from 1 (the standard
+		// CoDel hysteresis).
+		c.dropping = true
+		if c.count > 2 && now.Sub(c.dropNext) < 8*c.Interval {
+			c.count -= 2
+		} else {
+			c.count = 1
+		}
+		c.lastCount = c.count
+		c.dropNext = now.Add(c.controlLaw())
+		c.Drops++
+		return true
+	}
+	if now >= c.dropNext {
+		c.count++
+		c.dropNext = c.dropNext.Add(c.controlLaw())
+		c.Drops++
+		return true
+	}
+	return false
+}
+
+// controlLaw paces drops at Interval/sqrt(count).
+func (c *CoDel) controlLaw() sim.Duration {
+	return sim.Duration(float64(c.Interval) / math.Sqrt(float64(c.count)))
+}

@@ -104,6 +104,21 @@ func NewWorker[T any](name string, core *Core, sched *Scheduler, cost func(T) Du
 // Len returns the current queue depth.
 func (w *Worker[T]) Len() int { return len(w.queue) }
 
+// StealQueue removes and returns every queued item (nil when empty). The
+// overload watchdog uses it to re-steer work pending on a stalled core; any
+// already-scheduled poll simply finds an empty queue and returns. Stolen
+// items keep their Enqueued accounting — the thief re-enqueues them on
+// another worker, which counts them there.
+func (w *Worker[T]) StealQueue() []T {
+	if len(w.queue) == 0 {
+		return nil
+	}
+	out := make([]T, len(w.queue))
+	copy(out, w.queue)
+	w.queue = w.queue[:0]
+	return out
+}
+
 // Idle reports whether the worker has no queued items and no pending poll —
 // i.e. the next enqueue will raise it from idle (costing an IRQ in stages
 // that model interrupt-driven wakeup).

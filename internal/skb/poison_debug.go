@@ -34,4 +34,7 @@ func poison(s *SKB) {
 	s.ArrivedAt = PoisonTime
 	s.LastStage = "POISONED"
 	s.LastStageAt = PoisonTime
+	s.QueuedAt = PoisonTime
+	s.MemCharge = PoisonInt
+	s.Accounted = true
 }

@@ -85,6 +85,18 @@ type SKB struct {
 	LastStage   string
 	LastStageAt sim.Time
 
+	// QueuedAt is when the skb last entered a backlog or splitting queue;
+	// the CoDel-style AQM (internal/overload) measures queue sojourn as
+	// dequeue-time minus QueuedAt. Zero unless overload control is wired.
+	QueuedAt sim.Time
+
+	// MemCharge / Accounted are the global skb memory account's stamp
+	// (internal/overload): the bytes charged at NIC admission and whether
+	// the charge is still outstanding. Release balances against MemCharge,
+	// not WireLen, so GRO growth after admission cannot skew the account.
+	MemCharge int
+	Accounted bool
+
 	// Data optionally holds the real wire bytes (nil in synthetic runs;
 	// populated in wire-mode runs and correctness tests).
 	Data []byte
