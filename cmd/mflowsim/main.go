@@ -9,6 +9,8 @@
 //	mflowsim -system mflow -proto tcp -batch 16 -split 3
 //	mflowsim -system mflow -flows 10 -kernel-cores 10 -app-cores 5
 //	mflowsim -system mflow -proto tcp -metrics out.json
+//	mflowsim -system mflow -proto tcp -flows 3 -hosts 3
+//	mflowsim -system mflow -hosts 4 -placement incast -underlay 10,5,512
 //
 // With -metrics the run attaches an observability registry and writes the
 // full metric snapshot for the measured window — per-stage latency and
@@ -25,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mflow/internal/fabric"
 	"mflow/internal/fault"
 	"mflow/internal/metrics"
 	"mflow/internal/obs"
@@ -58,6 +61,10 @@ func main() {
 		detect  = flag.Bool("autodetect", false, "split only detector-promoted elephant flows")
 		modelTX = flag.Bool("modeltx", false, "model the sender-side transmit pipeline explicitly")
 
+		hosts     = flag.Int("hosts", 1, "simulated hosts sharing one clock (>= 2 enables the multi-host fabric)")
+		placement = flag.String("placement", "", "fabric flow placement: pair|incast (requires -hosts >= 2)")
+		underlay  = flag.String("underlay", "", "fabric underlay as gbps,latency_us,queue_kb (e.g. 40,5,512; requires -hosts >= 2)")
+
 		loss      = flag.Float64("loss", 0, "uniform wire-frame drop probability (enables fault injection)")
 		burst     = flag.String("burst", "", "Gilbert-Elliott burst loss as pGoodBad,pBadGood,lossBad (e.g. 0.002,0.1,0.75)")
 		dup       = flag.Float64("dup", 0, "wire-frame duplication probability")
@@ -72,6 +79,11 @@ func main() {
 	flag.Parse()
 
 	if err := validateFlags(*size, *flows, *loss, *dup, *corrupt, *stall); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fcfg, err := fabricConfig(*hosts, *placement, *underlay)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -117,6 +129,7 @@ func main() {
 		Warmup:      sim.Duration(*warmup) * sim.Millisecond,
 		Measure:     sim.Duration(*measure) * sim.Millisecond,
 		ModelTX:     *modelTX,
+		Fabric:      fcfg,
 		MFlow:       overlay.MFlowConfig{BatchSize: *batch, SplitCores: *split, AutoDetect: *detect},
 	}
 	if *flows > 1 && *kcores == 0 {
@@ -186,6 +199,12 @@ func main() {
 			res.WatchdogResteers, res.DegradeCollapses, res.DegradeRestores,
 			res.MemPeakBytes/1024, sim.Duration(res.AQMSojournP99))
 	}
+	if sc.Fabric.Enabled() {
+		fmt.Printf("fabric     hosts=%d underlay sent=%d delivered=%d drops=%d copies=%d in-flight=%d/%d fdb floods=%d learned=%d aged=%d\n",
+			sc.Fabric.Hosts, res.UnderlaySent, res.UnderlayDelivered, res.UnderlayDrops,
+			res.UnderlayFloodCopies, res.UnderlayInFlightStart, res.UnderlayInFlightEnd,
+			res.FDBFloods, res.FDBLearned, res.FDBAged)
+	}
 	if *wire {
 		fmt.Printf("wire       integrity errors: %d\n", res.WireErrors)
 	}
@@ -237,6 +256,58 @@ func validateProb(name string, v float64) error {
 		return fmt.Errorf("-%s must be a probability in [0,1], got %v", name, v)
 	}
 	return nil
+}
+
+// fabricConfig builds the multi-host fabric config from the -hosts,
+// -placement and -underlay flags. One host (the default) returns nil —
+// the single-host path untouched by the fabric — and then rejects the
+// fabric-only flags, which would otherwise be ignored silently.
+func fabricConfig(hosts int, placement, underlay string) (*fabric.Config, error) {
+	if hosts < 1 {
+		return nil, fmt.Errorf("-hosts must be at least 1, got %d", hosts)
+	}
+	if hosts == 1 {
+		if placement != "" {
+			return nil, fmt.Errorf("-placement requires -hosts >= 2")
+		}
+		if underlay != "" {
+			return nil, fmt.Errorf("-underlay requires -hosts >= 2")
+		}
+		return nil, nil
+	}
+	if hosts > 64 {
+		return nil, fmt.Errorf("-hosts must be at most 64, got %d", hosts)
+	}
+	cfg := &fabric.Config{Hosts: hosts}
+	switch placement {
+	case "", fabric.PlacePair:
+	case fabric.PlaceIncast:
+		cfg.Placement = fabric.PlaceIncast
+	default:
+		return nil, fmt.Errorf("unknown -placement %q: want pair|incast", placement)
+	}
+	if underlay != "" {
+		parts := strings.Split(underlay, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -underlay %q: want gbps,latency_us,queue_kb", underlay)
+		}
+		vals := make([]float64, 3)
+		names := []string{"underlay gbps", "underlay latency_us", "underlay queue_kb"}
+		for i, part := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -underlay %q: %s is not a number", underlay, part)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return nil, fmt.Errorf("bad -underlay %q: %s must be positive and finite", underlay, names[i])
+			}
+			vals[i] = v
+		}
+		cfg.LinkGbps = vals[0]
+		cfg.LinkLatency = sim.Duration(vals[1] * float64(sim.Microsecond))
+		cfg.LinkQueueBytes = int(vals[2]) << 10
+	}
+	return cfg, nil
 }
 
 // parseBurst parses the -burst argument: exactly three comma-separated

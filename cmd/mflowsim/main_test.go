@@ -77,3 +77,56 @@ func TestOverloadNames(t *testing.T) {
 		}
 	}
 }
+
+func TestFabricConfig(t *testing.T) {
+	// Default single host: no fabric, and the fabric-only flags are
+	// rejected rather than silently ignored.
+	if cfg, err := fabricConfig(1, "", ""); err != nil || cfg != nil {
+		t.Fatalf("fabricConfig(1) = %+v, %v; want nil, nil", cfg, err)
+	}
+	if _, err := fabricConfig(1, "incast", ""); err == nil || !strings.Contains(err.Error(), "-placement") {
+		t.Errorf("placement without hosts accepted: %v", err)
+	}
+	if _, err := fabricConfig(1, "", "40,5,512"); err == nil || !strings.Contains(err.Error(), "-underlay") {
+		t.Errorf("underlay without hosts accepted: %v", err)
+	}
+
+	cfg, err := fabricConfig(3, "incast", " 10, 2.5, 64 ")
+	if err != nil {
+		t.Fatalf("valid fabric flags rejected: %v", err)
+	}
+	if cfg.Hosts != 3 || cfg.Placement != "incast" {
+		t.Errorf("hosts/placement parsed wrong: %+v", cfg)
+	}
+	if cfg.LinkGbps != 10 || cfg.LinkLatency != 2500 || cfg.LinkQueueBytes != 64<<10 {
+		t.Errorf("underlay parsed wrong: %+v", cfg)
+	}
+
+	// Bare -hosts keeps the underlay at package defaults (zero here,
+	// filled by WithDefaults at run time) and pair placement.
+	cfg, err = fabricConfig(2, "", "")
+	if err != nil || cfg.Hosts != 2 || cfg.Placement != "" || cfg.LinkGbps != 0 {
+		t.Errorf("bare -hosts 2 parsed wrong: %+v, %v", cfg, err)
+	}
+
+	for _, bad := range []struct {
+		hosts               int
+		placement, underlay string
+	}{
+		{0, "", ""},           // no hosts
+		{-2, "", ""},          // negative
+		{65, "", ""},          // over the cap
+		{2, "ring", ""},       // unknown placement
+		{2, "", "40,5"},       // too few fields
+		{2, "", "40,5,512,9"}, // too many fields
+		{2, "", "x,5,512"},    // not a number
+		{2, "", "0,5,512"},    // zero rate
+		{2, "", "40,-5,512"},  // negative latency
+		{2, "", "40,5,Inf"},   // not finite
+	} {
+		if _, err := fabricConfig(bad.hosts, bad.placement, bad.underlay); err == nil {
+			t.Errorf("fabricConfig(%d, %q, %q) accepted invalid input",
+				bad.hosts, bad.placement, bad.underlay)
+		}
+	}
+}

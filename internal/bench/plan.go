@@ -169,10 +169,20 @@ func planFor(fig string) plan {
 				p.add(pressureScenario(sys, proto))
 			}
 		}
+	case "fabric":
+		for _, n := range fabricHosts {
+			for _, sys := range fabricSystems {
+				p.add(fabricScaleScenario(sys, n))
+			}
+		}
+		for _, n := range fabricIncastHosts {
+			p.add(fabricIncastScenario(n))
+		}
 	case "all":
-		// All() runs figures in paper order; chaos and overload are
-		// separate (their scenarios carry fault plans / overload configs,
-		// so the committed all-figure artifact stays disabled-path pure).
+		// All() runs figures in paper order; chaos, overload and fabric
+		// are separate (their scenarios carry fault plans / overload
+		// configs / multi-host fabrics, so the committed all-figure
+		// artifact stays disabled-path pure).
 		for _, sub := range []string{"4", "7", "8", "9", "10", "11", "12", "13", "queues", "ablations", "extensions"} {
 			p.merge(planFor(sub))
 		}

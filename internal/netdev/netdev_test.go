@@ -164,3 +164,54 @@ func TestVethCrossings(t *testing.T) {
 	}
 	(&Veth{}).XmitToHost(&skb.SKB{}) // nil hooks must not panic
 }
+
+func TestBridgeFDBAging(t *testing.T) {
+	b := NewBridge()
+	b.MaxAge = 1000
+	var got0, got1, got2 int
+	p0 := b.AttachPort(func(*skb.SKB) { got0++ })
+	p1 := b.AttachPort(func(*skb.SKB) { got1++ })
+	b.AttachPort(func(*skb.SKB) { got2++ })
+	_ = p1
+
+	macA := packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB := packet.MAC{2, 0, 0, 0, 0, 0xb}
+
+	// Teach macB on p1 at t=0, then forward toward it within MaxAge:
+	// unicast.
+	b.LearnAt(macB, p1, 0)
+	if b.Learned != 1 {
+		t.Fatalf("Learned=%d, want 1", b.Learned)
+	}
+	b.ForwardAt(p0, macA, macB, &skb.SKB{}, 500)
+	if b.Forwarded != 1 || got1 != 1 || got2 != 0 {
+		t.Fatalf("fresh entry should unicast: forwarded=%d got1=%d got2=%d", b.Forwarded, got1, got2)
+	}
+	// Refreshing via LearnAt does not recount Learned.
+	b.LearnAt(macB, p1, 600)
+	if b.Learned != 2 { // macA was learned by ForwardAt above
+		t.Fatalf("Learned=%d, want 2 (refresh must not count)", b.Learned)
+	}
+	// Past MaxAge the entry expires: the next lookup deletes it, counts
+	// Aged, and forwarding floods again.
+	b.ForwardAt(p0, macA, macB, &skb.SKB{}, 2000)
+	if b.Aged != 1 || b.Flooded != 1 || got1 != 2 || got2 != 1 {
+		t.Fatalf("aged entry should flood: aged=%d flooded=%d got1=%d got2=%d",
+			b.Aged, b.Flooded, got1, got2)
+	}
+	if _, ok := b.Lookup(macB); ok {
+		t.Error("aged entry still present ageing-obliviously")
+	}
+	// Relearning after ageing counts as a fresh insertion.
+	b.LearnAt(macB, p1, 2100)
+	if b.Learned != 3 {
+		t.Errorf("Learned=%d, want 3 after relearn", b.Learned)
+	}
+	// MaxAge == 0 never ages (the pre-fabric permanent FDB).
+	b2 := NewBridge()
+	b2.AttachPort(func(*skb.SKB) {})
+	b2.LearnAt(macA, 0, 0)
+	if _, ok := b2.LookupAt(macA, 1<<60); !ok || b2.Aged != 0 {
+		t.Error("MaxAge=0 bridge expired an entry")
+	}
+}

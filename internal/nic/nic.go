@@ -57,6 +57,13 @@ type NIC struct {
 	// are unique but not dense.
 	pktSeq uint64
 
+	// PktSeq, when set, replaces the private pktSeq with a sequence shared
+	// across NICs. Multi-host fabric runs point every host's NIC at one
+	// counter so PktIDs stay unique run-wide (the causal profiler and the
+	// flight recorder key records on them); single-host runs leave it nil
+	// and behave exactly as before.
+	PktSeq *uint64
+
 	// OnDrop, when set, observes frames rejected by a full descriptor ring
 	// (after PktID/ArrivedAt are stamped). Used by the causal profiler and
 	// the anomaly flight recorder; nil in unprobed runs.
@@ -167,8 +174,13 @@ func (n *NIC) Deliver(s *skb.SKB) bool {
 		return false
 	}
 	s.ArrivedAt = n.sched.Now()
-	n.pktSeq++
-	s.PktID = n.pktSeq
+	if n.PktSeq != nil {
+		*n.PktSeq++
+		s.PktID = *n.PktSeq
+	} else {
+		n.pktSeq++
+		s.PktID = n.pktSeq
+	}
 	if n.PerFrameIRQ && !n.irqMasked {
 		// Interrupt-per-frame: the top half runs for every arrival before
 		// the frame even reaches the ring — dropped frames still cost their

@@ -168,3 +168,39 @@ func TestHash64Mixes(t *testing.T) {
 		t.Error("hash must be deterministic")
 	}
 }
+
+// TestNICSharedPktSeq pins the fabric-mode contract: NICs pointed at one
+// shared counter issue run-wide unique PktIDs in arrival order, while a
+// private-sequence NIC is unaffected.
+func TestNICSharedPktSeq(t *testing.T) {
+	var shared uint64
+	n1, s1, _, _ := testNIC(t, Config{Queues: 1, RingSize: 64}, 1)
+	n2, s2, _, _ := testNIC(t, Config{Queues: 1, RingSize: 64}, 1)
+	n1.PktSeq = &shared
+	n2.PktSeq = &shared
+	a := &skb.SKB{FlowID: 1, Segs: 1}
+	b := &skb.SKB{FlowID: 1, Segs: 1}
+	c := &skb.SKB{FlowID: 1, Segs: 1}
+	s1.At(0, func() { n1.Deliver(a) })
+	s2.At(0, func() { n2.Deliver(b) })
+	s1.At(1, func() { n1.Deliver(c) })
+	s1.Run() // delivers a then c
+	s2.Run() // then b
+	if a.PktID != 1 || c.PktID != 2 || b.PktID != 3 {
+		t.Errorf("shared sequence issued a=%d c=%d b=%d, want 1/2/3", a.PktID, c.PktID, b.PktID)
+	}
+	if shared != 3 {
+		t.Errorf("shared counter = %d, want 3", shared)
+	}
+	// A NIC without the override keeps its private sequence.
+	n3, s3, _, _ := testNIC(t, Config{Queues: 1, RingSize: 64}, 1)
+	d := &skb.SKB{FlowID: 1, Segs: 1}
+	s3.At(0, func() { n3.Deliver(d) })
+	s3.Run()
+	if d.PktID != 1 {
+		t.Errorf("private sequence issued %d, want 1", d.PktID)
+	}
+	if shared != 3 {
+		t.Errorf("private NIC touched the shared counter: %d", shared)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"mflow/internal/causal"
+	"mflow/internal/fabric"
 	"mflow/internal/fault"
 	"mflow/internal/metrics"
 	"mflow/internal/obs"
@@ -172,6 +173,15 @@ type Scenario struct {
 	// A nil or zero config wires nothing, leaving the run bit-for-bit
 	// identical to one without the subsystem (Key unchanged).
 	Overload *overload.Config
+	// Fabric, when non-nil with Hosts >= 2, runs the scenario on a
+	// multi-host fabric: N simulated hosts share this run's DES clock,
+	// each with its own NIC/cores/stack, and flows are placed across
+	// hosts — a TX host's VxLAN encap output crosses the underlay wire
+	// model (per-link propagation latency, bandwidth serialization,
+	// bounded tail-drop queues) into the RX host's NIC ring. A nil or
+	// zero config builds the classic single host, bit-for-bit identical
+	// to a run minted before the fabric existed (Key unchanged).
+	Fabric *fabric.Config
 	// Seed makes the run deterministic.
 	Seed uint64
 	// Warmup precedes measurement; Measure is the measured window.
@@ -247,6 +257,10 @@ func (sc Scenario) Key() string {
 	if sc.Overload.Enabled() {
 		ov = fmt.Sprintf("%+v", *sc.Overload)
 	}
+	fab := ""
+	if sc.Fabric.Enabled() {
+		fab = fmt.Sprintf("%+v", *sc.Fabric)
+	}
 	sc.Costs = nil
 	sc.Faults = nil
 	sc.Obs = nil
@@ -254,13 +268,19 @@ func (sc Scenario) Key() string {
 	sc.CoreLog = nil
 	sc.Capture = nil
 	sc.Overload = nil
+	sc.Fabric = nil
 	key := fmt.Sprintf("%+v|costs={%s}|faults={%s}", sc, costs, faults)
-	// Strip the nil Overload field from the rendering so every key minted
-	// before the overload subsystem existed stays byte-identical; enabled
-	// configs append their own block (by value, like costs and faults).
+	// Strip the nil Overload and Fabric fields from the rendering so every
+	// key minted before those subsystems existed stays byte-identical;
+	// enabled configs append their own block (by value, like costs and
+	// faults).
 	key = strings.Replace(key, " Overload:<nil>", "", 1)
+	key = strings.Replace(key, " Fabric:<nil>", "", 1)
 	if ov != "" {
 		key += fmt.Sprintf("|overload={%s}", ov)
+	}
+	if fab != "" {
+		key += fmt.Sprintf("|fabric={%s}", fab)
 	}
 	return key
 }
@@ -407,6 +427,32 @@ type Result struct {
 	// measured window.
 	MemPeakBytes  int
 	AQMSojournP99 int64
+
+	// Fabric counters, all zero unless Scenario.Fabric is enabled.
+	// UnderlaySent counts frames put on the underlay toward their owner
+	// host over the measured window; UnderlayDelivered those handed to a
+	// remote NIC chain; UnderlayDrops tail drops at link queues.
+	// Conservation holds across window boundaries:
+	// UnderlaySent + UnderlayInFlightStart ==
+	//     UnderlayDelivered + UnderlayDrops + UnderlayInFlightEnd.
+	UnderlaySent      uint64
+	UnderlayDelivered uint64
+	UnderlayDrops     uint64
+	// UnderlayFloodCopies counts head-end-replication copies serialized
+	// for non-owner peers while a destination MAC was unlearned.
+	UnderlayFloodCopies uint64
+	// UnderlayInFlightStart/End are the frames inside the underlay at the
+	// measurement window's boundaries (absolute gauges, not diffs).
+	UnderlayInFlightStart int
+	UnderlayInFlightEnd   int
+	// FDBFloods / FDBLearned / FDBAged count cross-host bridge FDB
+	// activity over the whole run (totals, not window deltas — the
+	// flood-then-learn transient plays out during warmup): frames flooded
+	// for an unknown (or aged) destination, new entries learned, entries
+	// expired by FDBMaxAge.
+	FDBFloods  uint64
+	FDBLearned uint64
+	FDBAged    uint64
 
 	// Breakdown is the measured-window causal latency decomposition,
 	// aggregated per (segment kind, stage) across delivered packets. Nil

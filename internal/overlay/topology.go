@@ -59,6 +59,14 @@ type host struct {
 	// delivery handler used by Stack.Send.
 	ackFree []*ackRelay
 	nicH    nicDeliverH
+
+	// Fabric-mode fields; both zero for single-host runs. obsPfx prefixes
+	// the host's Set-based registry names ("h0:nic_received") so N hosts
+	// sharing one registry don't overwrite each other; ackExtra adds the
+	// underlay's one-way latency to the abstract ACK return path of flows
+	// this host sends cross-host.
+	obsPfx   string
+	ackExtra sim.Duration
 }
 
 // ackRelay carries one acknowledgement (cumulative or duplicate) across the
@@ -251,13 +259,41 @@ func (h *host) newStageT(name string, coreC *sim.Core, cap int, wake sim.Duratio
 	return st
 }
 
+// hostOpts carries fabric-mode construction overrides; the zero value is
+// the single-host default (private clock, private pool, private PktID
+// sequence, unprefixed registry names).
+type hostOpts struct {
+	sched  *sim.Scheduler // non-nil: share an existing DES clock
+	pool   *skb.Pool      // non-nil: share one SKB pool across hosts
+	pktSeq *uint64        // non-nil: share one PktID sequence across NICs
+	obsPfx string
+}
+
 // buildHost constructs the complete topology for a scenario, attaching any
 // probes after the topology is fully wired.
 func buildHost(sc Scenario, pr Probes) *host {
-	h := &host{sc: sc, sched: sim.NewScheduler(sc.Seed)}
+	h := newHostShell(sc, pr, hostOpts{})
+	for f := 0; f < sc.Flows; f++ {
+		h.buildFlow(f)
+	}
+	h.finish()
+	return h
+}
+
+// newHostShell builds one host's cores, NIC and per-host subsystems —
+// everything except the flows (built per flow index) and the final wiring
+// pass (finish). Fabric runs call it once per host against a shared clock.
+func newHostShell(sc Scenario, pr Probes, opt hostOpts) *host {
+	sched := opt.sched
+	if sched == nil {
+		sched = sim.NewScheduler(sc.Seed)
+	}
+	h := &host{sc: sc, sched: sched, obsPfx: opt.obsPfx}
 	h.prof, h.flight = pr.Causal, pr.Flight
 	h.nicH = nicDeliverH{h}
-	if !disablePool {
+	if opt.pool != nil {
+		h.pool = opt.pool
+	} else if !disablePool {
 		h.pool = &skb.Pool{}
 	}
 	if sc.Faults.Enabled() {
@@ -291,6 +327,9 @@ func buildHost(sc Scenario, pr Probes) *host {
 	nicCfg := cfg.NIC
 	nicCfg.Queues = sc.Flows
 	h.nic = nic.New(nicCfg, h.sched)
+	if opt.pktSeq != nil {
+		h.nic.PktSeq = opt.pktSeq
+	}
 	if sc.Capture != nil && sc.WireMode {
 		h.capture = pcap.NewWriter(sc.Capture)
 	}
@@ -298,11 +337,14 @@ func buildHost(sc Scenario, pr Probes) *host {
 	if sc.CoreLog != nil {
 		sc.CoreLog.Attach(h.cores...)
 	}
+	return h
+}
 
-	for f := 0; f < sc.Flows; f++ {
-		h.buildFlow(f)
-	}
-
+// finish runs the post-flow wiring pass: recycle points, probes, overload
+// arming, and queue-depth registration. It must run after every flow the
+// host serves (or sends) has been built.
+func (h *host) finish() {
+	sc := h.sc
 	// Wire the pool's recycle points now that the full topology exists:
 	// final user-space delivery, TCP duplicate/prune discards, GRO-absorbed
 	// segments, and splitting-queue rejections all return their skbs here.
@@ -340,27 +382,38 @@ func buildHost(sc Scenario, pr Probes) *host {
 	if sc.Obs != nil {
 		for q := 0; q < h.nic.Config().Queues; q++ {
 			q := q
-			sc.Obs.SampleQueue(fmt.Sprintf("nic_ring%d", q), func() int { return h.nic.RingDepth(q) })
+			sc.Obs.SampleQueue(fmt.Sprintf("%snic_ring%d", h.obsPfx, q), func() int { return h.nic.RingDepth(q) })
 		}
 		for i, st := range h.stages {
-			sc.Obs.SampleQueue(fmt.Sprintf("backlog:%s#%d", st.name, i), st.worker.Len)
+			sc.Obs.SampleQueue(fmt.Sprintf("%sbacklog:%s#%d", h.obsPfx, st.name, i), st.worker.Len)
 		}
 		for i, fp := range h.flows {
-			sc.Obs.SampleQueue(fmt.Sprintf("socket:flow%d", i+1), fp.sock.Worker().Len)
+			sc.Obs.SampleQueue(fmt.Sprintf("%ssocket:flow%d", h.obsPfx, i+1), fp.sock.Worker().Len)
 		}
 	}
-	return h
 }
 
-// buildFlow wires flow f's receive pipeline and its sender(s).
+// buildFlow wires flow f's receive pipeline and its sender(s) on this one
+// host — the classic single-host path.
 func (h *host) buildFlow(f int) {
+	fp := h.buildFlowRx(f, uint64(f+1))
+	if h.sc.NoTraffic {
+		return
+	}
+	h.buildFlowTx(f, fp, nil)
+}
+
+// buildFlowRx wires a flow's receive pipeline. f is the host-local flow
+// index (queue pinning, core placement); id is the flow's run-wide wire
+// identity — they coincide on a single host, while fabric hosts receive an
+// arbitrary subset of the global flow space.
+func (h *host) buildFlowRx(f int, id uint64) *flowPath {
 	sc := h.sc
 	cfg := sc.Costs
-	fp := &flowPath{id: uint64(f + 1)}
+	fp := &flowPath{id: id}
 	h.flows = append(h.flows, fp)
 	h.nic.PinFlow(fp.id, f)
 
-	overlay := isOverlay(sc.System, sc.Proto)
 	// Socket: the app receive thread. MFLOW's TCP full-path config merges
 	// before the TCP layer and runs TCP processing in the delivery thread
 	// (tcp_recvmsg), so its socket charges TCP + copy.
@@ -421,40 +474,49 @@ func (h *host) buildFlow(f int) {
 			first.worker.Gate = func(*skb.SKB) bool { return !h.inj.DropRing() }
 		}
 	}
-	if sc.NoTraffic {
-		return
-	}
+	return fp
+}
 
-	// Traffic sources.
-	var ingress traffic.Ingress = h.nic
-	if sc.Proto == skb.UDP && sc.UDPClients > 1 {
-		// Several clients share the flow: sequence numbers only make
-		// sense in NIC arrival order.
-		ingress = &arrivalSeq{n: h.nic}
-	}
-	// The lossy-link tap sits between frame construction and NIC arrival:
-	// in wire mode corruption flips real bytes (after the builder attaches
-	// them, before the pcap capture sees them), and dropped frames never
-	// consume an arrival sequence number.
-	wrapFault := func(in traffic.Ingress) traffic.Ingress {
-		if h.inj != nil && sc.Faults.WireActive() {
-			return h.inj.Wrap(in)
+// buildFlowTx wires a flow's sender(s) on this host. A nil ingress builds
+// the classic local chain into h.nic (encap accounting, wire faults, wire
+// mode); fabric runs pass the cross-host chain (VTEP → underlay → remote
+// NIC) instead, with fp belonging to the remote receiving host.
+func (h *host) buildFlowTx(f int, fp *flowPath, ingress traffic.Ingress) {
+	sc := h.sc
+	cfg := sc.Costs
+	overlay := isOverlay(sc.System, sc.Proto)
+
+	if ingress == nil {
+		ingress = h.nic
+		if sc.Proto == skb.UDP && sc.UDPClients > 1 {
+			// Several clients share the flow: sequence numbers only make
+			// sense in NIC arrival order.
+			ingress = &arrivalSeq{n: h.nic}
 		}
-		return in
-	}
-	switch {
-	case sc.WireMode:
-		// Real bytes end to end; the builder also performs the
-		// encapsulation accounting.
-		if h.capture != nil {
-			ingress = &captureTap{h: h, inner: ingress}
+		// The lossy-link tap sits between frame construction and NIC
+		// arrival: in wire mode corruption flips real bytes (after the
+		// builder attaches them, before the pcap capture sees them), and
+		// dropped frames never consume an arrival sequence number.
+		wrapFault := func(in traffic.Ingress) traffic.Ingress {
+			if h.inj != nil && sc.Faults.WireActive() {
+				return h.inj.Wrap(in)
+			}
+			return in
 		}
-		ingress = newWireBuilder(wrapFault(ingress), fp.id, overlay)
-		fp.sock.Verify = wireVerify(fp)
-	case overlay:
-		ingress = encapIngress{wrapFault(ingress)}
-	default:
-		ingress = wrapFault(ingress)
+		switch {
+		case sc.WireMode:
+			// Real bytes end to end; the builder also performs the
+			// encapsulation accounting.
+			if h.capture != nil {
+				ingress = &captureTap{h: h, inner: ingress}
+			}
+			ingress = newWireBuilder(wrapFault(ingress), fp.id, overlay)
+			fp.sock.Verify = wireVerify(fp)
+		case overlay:
+			ingress = encapIngress{wrapFault(ingress)}
+		default:
+			ingress = wrapFault(ingress)
+		}
 	}
 	// Explicit sender-side pipeline: the sender's syscall work and the
 	// egress chain replace the aggregate client-cost model.
@@ -488,8 +550,8 @@ func (h *host) buildFlow(f int) {
 		// Overload control drops packets too (admission budget, AQM,
 		// pressure gates), so it needs the reliable sender for the same
 		// reason fault injection does: an unrecovered hole deadlocks the
-		// window.
-		if h.inj != nil || h.ov != nil {
+		// window. The fabric's underlay tail-drops as well.
+		if h.inj != nil || h.ov != nil || sc.Fabric.Enabled() {
 			tx.Reliable = true
 			tx.InitialRTO = sc.Faults.RTOOrDefault()
 			if fp.tcpRx != nil {
@@ -499,7 +561,7 @@ func (h *host) buildFlow(f int) {
 				fp.tcpRx.DupAck = func(e uint64) {
 					a := h.getAck()
 					a.tx, a.end, a.dup = tx, e, true
-					h.sched.AfterHandler(cfg.NetDelay, a, nil)
+					h.sched.AfterHandler(cfg.NetDelay+h.ackExtra, a, nil)
 				}
 				// The hole map that SACK blocks would carry on those
 				// ACKs; the simulator queries the receiver's scoreboard
@@ -512,7 +574,7 @@ func (h *host) buildFlow(f int) {
 		fp.sock.Ack = func(end uint64, _ sim.Time) {
 			a := h.getAck()
 			a.tx, a.end = tx, end
-			h.sched.AfterHandler(cfg.NetDelay, a, nil)
+			h.sched.AfterHandler(cfg.NetDelay+h.ackExtra, a, nil)
 		}
 		h.sched.At(0, tx.Start)
 		fp.stops = append(fp.stops, tx.Stop)
@@ -702,15 +764,16 @@ func (h *host) armCausal() {
 // holes are tolerated (losses are skipped over, retransmissions return as
 // stale micro-flows and are delivered out of band for the TCP layer to
 // re-order) and the gap timer bounds how long the merger can stall on a
-// hole. No-op without an injector, so lossless runs keep the strict
-// contiguity invariant.
+// hole. No-op without an injector or fabric (whose underlay tail-drops can
+// punch holes too), so lossless runs keep the strict contiguity invariant.
 func (h *host) armFaultRecovery(fp *flowPath) {
-	if h.inj == nil || fp.reasm == nil {
+	if (h.inj == nil && !h.sc.Fabric.Enabled()) || fp.reasm == nil {
 		return
 	}
 	fp.reasm.AllowGaps = true
 	fp.reasm.GapTimeout = h.sc.Faults.GapTimeoutOrDefault()
-	if h.sc.Proto == skb.TCP && h.sc.Faults.GapTimeout == 0 {
+	explicitGap := h.sc.Faults != nil && h.sc.Faults.GapTimeout != 0
+	if h.sc.Proto == skb.TCP && !explicitGap {
 		// TCP restores order downstream (the receiver's out-of-order
 		// queue), so an over-eager release costs only some re-parking —
 		// while every microsecond the merger stalls delays the duplicate
