@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|queues|ablations|extensions|chaos|overload|fabric|all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 4|7|8|9|10|11|12|13|queues|ablations|extensions|chaos|overload|fabric|wire|all")
 		measure   = flag.Int("measure-ms", 12, "measured window per run (simulated ms)")
 		warmup    = flag.Int("warmup-ms", 3, "warmup per run (simulated ms)")
 		seed      = flag.Uint64("seed", 42, "simulation seed")

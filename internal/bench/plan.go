@@ -169,6 +169,16 @@ func planFor(fig string) plan {
 				p.add(pressureScenario(sys, proto))
 			}
 		}
+	case "wire":
+		for _, proto := range []skb.Proto{skb.TCP, skb.UDP} {
+			for _, sys := range wireSystems {
+				p.add(wireScenario(sys, proto, false))
+				p.add(wireScenario(sys, proto, true))
+			}
+		}
+		for _, sys := range []steering.System{steering.Vanilla, steering.RPS, steering.MFlow} {
+			p.add(wireFabricScenario(sys))
+		}
 	case "fabric":
 		for _, n := range fabricHosts {
 			for _, sys := range fabricSystems {
@@ -179,10 +189,10 @@ func planFor(fig string) plan {
 			p.add(fabricIncastScenario(n))
 		}
 	case "all":
-		// All() runs figures in paper order; chaos, overload and fabric
-		// are separate (their scenarios carry fault plans / overload
-		// configs / multi-host fabrics, so the committed all-figure
-		// artifact stays disabled-path pure).
+		// All() runs figures in paper order; chaos, overload, fabric and
+		// wire are separate (their scenarios carry fault plans / overload
+		// configs / multi-host fabrics / wire bytes, so the committed
+		// all-figure artifact stays disabled-path pure).
 		for _, sub := range []string{"4", "7", "8", "9", "10", "11", "12", "13", "queues", "ablations", "extensions"} {
 			p.merge(planFor(sub))
 		}

@@ -219,7 +219,7 @@ func (r *Runner) storeCaching(key string, res *apps.CachingResult) *apps.Caching
 }
 
 // Figures lists every figure identifier Tables accepts, in paper order.
-var Figures = []string{"4", "7", "8", "9", "10", "11", "12", "13", "queues", "ablations", "extensions", "chaos", "overload", "fabric", "all"}
+var Figures = []string{"4", "7", "8", "9", "10", "11", "12", "13", "queues", "ablations", "extensions", "chaos", "overload", "fabric", "wire", "all"}
 
 // Tables builds the named figure's tables. When r.Parallel > 1, the
 // figure's scenario matrix (see plan.go) is first executed on the harness
@@ -258,6 +258,8 @@ func (r *Runner) Tables(fig string) ([]*Table, error) {
 		return r.Overload(), nil
 	case "fabric":
 		return r.Fabric(), nil
+	case "wire":
+		return r.Wire(), nil
 	case "all":
 		return r.All(), nil
 	}

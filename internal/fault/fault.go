@@ -283,13 +283,12 @@ func (in *Injector) DropSock() bool {
 	return false
 }
 
-// Clone deep-copies an skb (including wire bytes) for duplication.
+// Clone deep-copies an skb (including wire bytes) for duplication. A plain
+// struct copy would alias the original's arena and frag chain, so the copy
+// goes through skb.Clone, which rebuilds the byte stream in the clone's
+// own arena (headroom preserved).
 func Clone(s *skb.SKB) *skb.SKB {
-	c := *s
-	if s.Data != nil {
-		c.Data = append([]byte(nil), s.Data...)
-	}
-	return &c
+	return s.Clone()
 }
 
 // wireTap applies the wire profile in front of an ingress point.

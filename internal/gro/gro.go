@@ -28,6 +28,17 @@ type GRO struct {
 	// (its coverage lives on in the merge head) so the run's pool can
 	// reuse it.
 	Recycle func(*skb.SKB)
+
+	// heads is the per-batch in-progress super-packet table, reused
+	// across Coalesce calls so the steady state allocates nothing. Flow
+	// counts per poll batch are small, so a linear scan beats a map.
+	heads []flowHead
+}
+
+// flowHead pairs a flow with its current merge head within one batch.
+type flowHead struct {
+	flow uint64
+	s    *skb.SKB
 }
 
 // New returns an enabled GRO engine with the default byte cap.
@@ -48,6 +59,11 @@ func (g *GRO) Factor() float64 {
 // same encapsulation state, no message boundary in between, and within the
 // byte cap. Like kernel GRO, the engine holds state only within one batch —
 // everything flushes when the poll round ends.
+//
+// A merge is copy-free: skb.Merge chains the absorbed segment's byte
+// window onto the head as a frag reference (the kernel's frag-list shape),
+// so a wire-mode super-packet is one head frame plus N chained frames, and
+// only the terminal reader ever walks or materializes the stream.
 func (g *GRO) Coalesce(batch []*skb.SKB) []*skb.SKB {
 	for _, s := range batch {
 		g.SegsIn += uint64(s.Segs)
@@ -61,18 +77,35 @@ func (g *GRO) Coalesce(batch []*skb.SKB) []*skb.SKB {
 		max = DefaultMaxBytes
 	}
 	out := batch[:0]
-	heads := make(map[uint64]*skb.SKB, 4) // per-flow in-progress super-packet
+	heads := g.heads[:0] // per-flow in-progress super-packet, capacity reused
 	for _, s := range batch {
-		if h, ok := heads[s.FlowID]; ok && h.CanMerge(s) && h.PayloadLen+s.PayloadLen <= max {
-			h.Merge(s)
-			if g.Recycle != nil {
-				g.Recycle(s)
+		hi := -1
+		for i := range heads {
+			if heads[i].flow == s.FlowID {
+				hi = i
+				break
 			}
-			continue
+		}
+		if hi >= 0 {
+			if h := heads[hi].s; h.CanMerge(s) && h.PayloadLen+s.PayloadLen <= max {
+				h.Merge(s)
+				if g.Recycle != nil {
+					g.Recycle(s)
+				}
+				continue
+			}
 		}
 		out = append(out, s)
-		heads[s.FlowID] = s
+		if hi >= 0 {
+			heads[hi].s = s
+		} else {
+			heads = append(heads, flowHead{flow: s.FlowID, s: s})
+		}
 	}
+	for i := range heads {
+		heads[i].s = nil // don't pin emitted skbs past the batch
+	}
+	g.heads = heads[:0]
 	g.SkbsOut += uint64(len(out))
 	return out
 }

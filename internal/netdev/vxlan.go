@@ -29,15 +29,32 @@ type VXLAN struct {
 }
 
 // Decap strips the outer encapsulation from s in place. It returns an error
-// (leaving the skb encapsulated) if wire bytes are present and invalid.
+// (leaving the skb untouched) if wire bytes are present and invalid.
+//
+// On the zero-copy path a GRO super-packet is a frag chain whose every part
+// is one outer frame: decap validates each part's headers, then trims
+// OverlayOverhead bytes off its front — a validated skb_pull per frame,
+// no allocation, no payload copy. Validation of every part completes
+// before any part is trimmed, so a bad frame leaves the skb whole.
 func (v *VXLAN) Decap(s *skb.SKB) error {
 	if !s.Encap {
 		return fmt.Errorf("vxlan: decap of non-encapsulated %v", s)
 	}
-	if s.Data != nil {
-		// A GRO super-packet carries several back-to-back outer frames;
-		// decapsulate every one.
-		vni, inner, err := packet.DecapVXLANAll(s.Data)
+	parts := s.Parts()
+	for i := 0; i < parts; i++ {
+		part := s.Part(i)
+		n, err := packet.FrameLen(part)
+		if err != nil {
+			v.Errors++
+			return err
+		}
+		if n != len(part) {
+			// A part holding several back-to-back frames (a pre-chained
+			// buffer from a legacy caller) cannot be trimmed in place:
+			// fall back to the copying decap for the whole stream.
+			return v.decapLinearized(s)
+		}
+		vni, _, err := packet.DecapVXLAN(part)
 		if err != nil {
 			v.Errors++
 			return err
@@ -46,7 +63,9 @@ func (v *VXLAN) Decap(s *skb.SKB) error {
 			v.Errors++
 			return fmt.Errorf("vxlan: VNI %d arrived at device for VNI %d", vni, v.VNI)
 		}
-		s.Data = inner
+	}
+	for i := 0; i < parts; i++ {
+		s.TrimPartFront(i, packet.OverlayOverhead)
 	}
 	s.Encap = false
 	s.WireLen -= packet.OverlayOverhead * s.Segs
@@ -57,14 +76,44 @@ func (v *VXLAN) Decap(s *skb.SKB) error {
 	return nil
 }
 
-// Encap wraps s in outer headers in place (transmit path).
+// decapLinearized is the cold path for skbs whose head window carries
+// several back-to-back outer frames (built by direct Data assignment, not
+// the arena): materialize, decap with the copying walker, and replace the
+// stream.
+func (v *VXLAN) decapLinearized(s *skb.SKB) error {
+	vni, inner, err := packet.DecapVXLANAll(s.Bytes())
+	if err != nil {
+		v.Errors++
+		return err
+	}
+	if vni != v.VNI {
+		v.Errors++
+		return fmt.Errorf("vxlan: VNI %d arrived at device for VNI %d", vni, v.VNI)
+	}
+	s.SetBytes(inner)
+	s.Encap = false
+	s.WireLen -= packet.OverlayOverhead * s.Segs
+	if s.WireLen < 0 {
+		s.WireLen = 0
+	}
+	v.Decapped++
+	return nil
+}
+
+// Encap wraps s in outer headers in place (transmit path): the outer
+// Ethernet/IPv4/UDP/VxLAN headers are written into the skb's reserved
+// headroom by an skb_push-shaped Push — no allocation, no payload copy
+// when the headroom was reserved up front. Only the head window is
+// encapsulated; transmit-side skbs carry no frag chain.
 func (v *VXLAN) Encap(s *skb.SKB) {
 	if s.Encap {
 		return
 	}
 	if s.Data != nil {
 		v.ipID++
-		s.Data = packet.EncapVXLAN(v.LocalMAC, v.RemoteMAC, v.Local, v.Remote, v.VNI, v.ipID, s.Data)
+		hdr := s.Push(packet.OverlayOverhead)
+		packet.EncapVXLANInPlace(hdr, v.LocalMAC, v.RemoteMAC, v.Local, v.Remote, v.VNI, v.ipID,
+			s.Data[packet.OverlayOverhead:])
 	}
 	s.Encap = true
 	s.WireLen += packet.OverlayOverhead * s.Segs

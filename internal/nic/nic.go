@@ -165,6 +165,12 @@ func (n *NIC) QueueFor(flowID uint64) int {
 
 // Deliver places an arriving frame into its queue's ring, raising an IRQ if
 // NAPI was idle. It reports whether the frame was accepted.
+//
+// The skb travels by reference from here on: the ring, the softirq stages
+// and the socket all pass the same *skb.SKB, and any wire bytes it carries
+// stay in the arena the sender wrote them into. Nothing on the device path
+// may copy Data — header changes are Push/Pull pointer moves and GRO
+// merges chain frag references (see internal/skb).
 func (n *NIC) Deliver(s *skb.SKB) bool {
 	n.Offered++
 	q := n.QueueFor(s.FlowID)

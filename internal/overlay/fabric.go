@@ -40,7 +40,8 @@ type fabState struct {
 }
 
 // fabIngress is a sending flow's cross-host ingress chain: VTEP encap
-// accounting, the TX host's FDB (unicast or head-end-replication flood),
+// (accounting always; real outer headers when the run carries wire
+// bytes), the TX host's FDB (unicast or head-end-replication flood),
 // then the underlay toward the owner host's NIC. It replaces the local
 // encapIngress→NIC chain that buildFlowTx wires on a single host.
 type fabIngress struct {
@@ -49,6 +50,12 @@ type fabIngress struct {
 	overlay bool
 	src     packet.MAC // sending client endpoint
 	dst     packet.MAC // receiving container endpoint
+
+	// Outer (host-level) addressing for wire-mode byte encapsulation:
+	// the sending host's uplink identity and the owner host's.
+	outerSrcMAC, outerDstMAC packet.MAC
+	outerSrcIP, outerDstIP   packet.IPv4Addr
+	ipID                     uint16
 }
 
 // Deliver implements traffic.Ingress. A false return means the underlay's
@@ -62,6 +69,15 @@ func (fi *fabIngress) Deliver(s *skb.SKB) bool {
 		return fs.un.Send(now, fi.tx, fi.rx, s)
 	}
 	// TX-side VTEP encapsulation (the RX pipeline's VXLAN stage decaps).
+	// With wire bytes attached the outer headers are written into the
+	// skb's reserved headroom — the same in-place push the local vxlan
+	// device uses, so crossing the fabric adds no copy either.
+	if s.Data != nil {
+		fi.ipID++
+		hdr := s.Push(packet.OverlayOverhead)
+		packet.EncapVXLANInPlace(hdr, fi.outerSrcMAC, fi.outerDstMAC, fi.outerSrcIP, fi.outerDstIP,
+			uint32(s.FlowID), fi.ipID, s.Data[packet.OverlayOverhead:])
+	}
 	s.Encap = true
 	s.WireLen += packet.OverlayOverhead * s.Segs
 	br := fs.bridges[fi.tx]
@@ -220,14 +236,28 @@ func runFabric(sc Scenario, pr Probes) *Result {
 		if sc.NoTraffic {
 			continue
 		}
-		fs.hosts[txH].buildFlowTx(f, fp, &fabIngress{
+		var ingress traffic.Ingress = &fabIngress{
 			fs:      fs,
 			tx:      txH,
 			rx:      rxH,
 			overlay: isOverlay(sc.System, sc.Proto),
 			src:     fabric.ContainerMAC(id, txH, false),
 			dst:     fabric.ContainerMAC(id, rxH, true),
-		})
+			// Host-level outer addressing, one identity per host.
+			outerSrcMAC: packet.MAC{0x02, 0xee, 0, 0, 0, byte(txH + 1)},
+			outerDstMAC: packet.MAC{0x02, 0xee, 0, 0, 0, byte(rxH + 1)},
+			outerSrcIP:  packet.Addr4(10, 0, 0, byte(txH+1)),
+			outerDstIP:  packet.Addr4(10, 0, 0, byte(rxH+1)),
+		}
+		if sc.WireMode {
+			// Real bytes across the fabric: the builder lays the inner
+			// frame into headroom-reserved arenas (VTEP encap is the
+			// fabIngress's in-place push), and the owner host's socket
+			// verifies payload integrity after the remote decap.
+			ingress = newWireBuilder(ingress, id, false)
+			fp.sock.Verify = wireVerify(fp)
+		}
+		fs.hosts[txH].buildFlowTx(f, fp, ingress)
 	}
 	for _, h := range fs.hosts {
 		h.finish()

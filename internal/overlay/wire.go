@@ -47,32 +47,48 @@ func newWireBuilder(n traffic.Ingress, flowID uint64, overlay bool) *wireBuilder
 
 // Deliver implements traffic.Ingress: it attaches the wire bytes, adjusts
 // encapsulation accounting, and forwards to the NIC.
+//
+// The frame is built inside out over the skb's pooled arena, kernel
+// style: Reserve positions an empty window behind headroom sized for
+// every header the frame will ever need, the payload is written directly
+// into the arena, and each header layer is a Push into headroom plus an
+// in-place marshal — zero allocations and zero payload copies once the
+// pool is warm.
 func (w *wireBuilder) Deliver(s *skb.SKB) bool {
-	payload := make([]byte, s.PayloadLen)
-	for i := range payload {
-		payload[i] = byte(s.Seq + uint64(i)) // recognizable pattern
-	}
-	w.ipID++
-	var inner []byte
+	innerHdr := packet.InnerUDPHeaderLen
 	if s.Proto == skb.TCP {
-		inner = packet.BuildTCPFrame(w.src, w.dst, w.ipID,
-			uint32(s.Seq*traffic.MSS), 0, packet.TCPAck, payload)
+		innerHdr = packet.InnerTCPHeaderLen
+	}
+	// Always reserve room for the outer headers too: even when this
+	// builder does not encapsulate (overlay false), a downstream VTEP
+	// (the fabric's fabIngress) may push them, and headroom is cheaper
+	// than a grow-and-copy per frame.
+	s.Reserve(packet.OverlayOverhead+innerHdr, s.PayloadLen)
+	traffic.FillPattern(s.Put(s.PayloadLen), s.Seq)
+	w.ipID++
+	hdr := s.Push(innerHdr)
+	if s.Proto == skb.TCP {
+		packet.BuildTCPFrameInPlace(hdr, w.src, w.dst, w.ipID,
+			uint32(s.Seq*traffic.MSS), 0, packet.TCPAck, s.PayloadLen)
 	} else {
-		inner = packet.BuildUDPFrame(w.src, w.dst, w.ipID, payload)
+		packet.BuildUDPFrameInPlace(hdr, w.src, w.dst, w.ipID, s.PayloadLen)
 	}
 	if w.overlay {
-		s.Data = packet.EncapVXLAN(w.outerSrcMAC, w.outerDstMAC, w.outerSrc, w.outerDst, w.vni, w.ipID, inner)
+		outer := s.Push(packet.OverlayOverhead)
+		packet.EncapVXLANInPlace(outer, w.outerSrcMAC, w.outerDstMAC, w.outerSrc, w.outerDst,
+			w.vni, w.ipID, s.Data[packet.OverlayOverhead:])
 		s.Encap = true
 		s.WireLen += packet.OverlayOverhead * s.Segs
-	} else {
-		s.Data = inner
 	}
 	return w.n.Deliver(s)
 }
 
 // wireVerify returns the socket-side integrity check for wire-mode runs:
 // the delivered skb must be decapsulated and its frames' transport payloads
-// must cover exactly the bytes the accounting says were delivered.
+// must cover exactly the bytes the accounting says were delivered. This is
+// the stream's single terminal reader: it walks the head window and each
+// chained GRO frag part-wise, so even here the super-packet is never
+// materialized into one contiguous buffer.
 func wireVerify(_ *flowPath) func(*skb.SKB) error {
 	return func(s *skb.SKB) error {
 		if s.Encap {
@@ -81,9 +97,13 @@ func wireVerify(_ *flowPath) func(*skb.SKB) error {
 		if s.Data == nil {
 			return fmt.Errorf("wire: skb lost its data: %v", s)
 		}
-		got, err := packet.PayloadBytes(s.Data)
-		if err != nil {
-			return fmt.Errorf("wire: corrupt frame at socket: %w", err)
+		got := 0
+		for i, n := 0, s.Parts(); i < n; i++ {
+			pb, err := packet.PayloadBytes(s.Part(i))
+			if err != nil {
+				return fmt.Errorf("wire: corrupt frame at socket (part %d/%d): %w", i, n, err)
+			}
+			got += pb
 		}
 		if got != s.PayloadLen {
 			return fmt.Errorf("wire: payload %d bytes, accounting says %d", got, s.PayloadLen)

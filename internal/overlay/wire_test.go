@@ -3,6 +3,7 @@ package overlay
 import (
 	"testing"
 
+	"mflow/internal/fabric"
 	"mflow/internal/sim"
 	"mflow/internal/skb"
 	"mflow/internal/steering"
@@ -71,5 +72,40 @@ func TestWireModeNativeCarriesPlainFrames(t *testing.T) {
 	r := Run(wireQuick(steering.Native, skb.UDP))
 	if r.WireErrors != 0 {
 		t.Errorf("native wire mode: %d integrity errors", r.WireErrors)
+	}
+}
+
+// Wire mode across the fabric: senders build real frames into
+// headroom-reserved arenas, the TX host's VTEP pushes genuine outer
+// headers in place, the frames cross the underlay, and the owner host's
+// vxlan device performs a validated per-frame pull. Every delivered
+// payload must verify at the remote socket.
+func TestFabricWireModeEndToEnd(t *testing.T) {
+	for _, sys := range []steering.System{steering.Vanilla, steering.RPS, steering.MFlow} {
+		sc := wireQuick(sys, skb.TCP)
+		sc.Flows = 2
+		sc.Fabric = &fabric.Config{Hosts: 2}
+		r := Run(sc)
+		if r.Gbps <= 0 {
+			t.Errorf("%v fabric wire mode: no throughput", sys)
+		}
+		if r.WireErrors != 0 {
+			t.Errorf("%v fabric wire mode: %d integrity errors", sys, r.WireErrors)
+		}
+		if r.UnderlaySent == 0 {
+			t.Errorf("%v fabric wire mode: frames never crossed the underlay", sys)
+		}
+	}
+}
+
+// Native (host-network) fabric wire mode: plain inner frames cross the
+// underlay with no VTEP push, and still verify at the remote socket.
+func TestFabricWireModeNative(t *testing.T) {
+	sc := wireQuick(steering.Native, skb.TCP)
+	sc.Flows = 2
+	sc.Fabric = &fabric.Config{Hosts: 2}
+	r := Run(sc)
+	if r.WireErrors != 0 {
+		t.Errorf("native fabric wire mode: %d integrity errors", r.WireErrors)
 	}
 }

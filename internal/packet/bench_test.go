@@ -25,6 +25,52 @@ func BenchmarkDecapVXLAN(b *testing.B) {
 	}
 }
 
+// BenchmarkEncapWire is the steady-state zero-copy transmit path at the
+// byte level: payload fill, inner TCP headers and outer VxLAN headers all
+// written in place into one preallocated buffer laid out like an skb
+// arena. Pinned at 0 B/op in bench_baseline.txt — any allocation on this
+// path is a regression.
+func BenchmarkEncapWire(b *testing.B) {
+	const payloadLen = 1448
+	src := FlowAddr{MAC: MAC{2, 0, 0, 0, 0, 1}, IP: Addr4(172, 17, 0, 2), Port: 40000}
+	dst := FlowAddr{MAC: MAC{2, 0, 0, 0, 0, 2}, IP: Addr4(172, 17, 0, 3), Port: 5001}
+	buf := make([]byte, OverlayOverhead+InnerTCPHeaderLen+payloadLen)
+	payload := buf[OverlayOverhead+InnerTCPHeaderLen:]
+	innerHdr := buf[OverlayOverhead : OverlayOverhead+InnerTCPHeaderLen]
+	inner := buf[OverlayOverhead:]
+	outerHdr := buf[:OverlayOverhead]
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		BuildTCPFrameInPlace(innerHdr, src, dst, uint16(i), uint32(i), 0, TCPAck, payloadLen)
+		EncapVXLANInPlace(outerHdr, MAC{}, MAC{}, Addr4(10, 0, 0, 1), Addr4(10, 0, 0, 2), 1, uint16(i), inner)
+	}
+}
+
+// BenchmarkDecapWire is the receive-side counterpart: validate one outer
+// frame's full header stack and recover the inner frame as a subslice — a
+// validated pull, no byte moved. Pinned at 0 B/op in bench_baseline.txt.
+func BenchmarkDecapWire(b *testing.B) {
+	frame := EncapVXLAN(MAC{}, MAC{}, Addr4(10, 0, 0, 1), Addr4(10, 0, 0, 2), 1, 0, benchInner)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := FrameLen(frame)
+		if err != nil || n != len(frame) {
+			b.Fatal("frame length validation failed")
+		}
+		vni, inner, err := DecapVXLAN(frame)
+		if err != nil || vni != 1 || len(inner) != len(benchInner) {
+			b.Fatal("decap failed")
+		}
+	}
+}
+
 func BenchmarkChecksum1500(b *testing.B) {
 	buf := make([]byte, 1500)
 	for i := range buf {

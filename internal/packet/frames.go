@@ -7,14 +7,35 @@ type FlowAddr struct {
 	Port uint16
 }
 
+// Inner frame header totals: the fixed prefix BuildUDPFrameInPlace /
+// BuildTCPFrameInPlace write in front of the payload.
+const (
+	InnerUDPHeaderLen = EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen
+	InnerTCPHeaderLen = EthernetHeaderLen + IPv4HeaderLen + TCPHeaderLen
+)
+
 // BuildUDPFrame assembles a complete inner Ethernet/IPv4/UDP frame carrying
 // payload from src to dst.
 func BuildUDPFrame(src, dst FlowAddr, ipID uint16, payload []byte) []byte {
-	buf := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen+len(payload))
+	buf := make([]byte, InnerUDPHeaderLen+len(payload))
+	copy(buf[InnerUDPHeaderLen:], payload)
+	BuildUDPFrameInPlace(buf[:InnerUDPHeaderLen], src, dst, ipID, len(payload))
+	return buf
+}
+
+// BuildUDPFrameInPlace writes the inner Ethernet/IPv4/UDP headers for a
+// payload of payloadLen bytes into hdr (exactly InnerUDPHeaderLen bytes).
+// On the zero-copy path hdr is skb headroom immediately preceding a
+// payload already built in place, so no byte of payload moves.
+func BuildUDPFrameInPlace(hdr []byte, src, dst FlowAddr, ipID uint16, payloadLen int) {
+	if len(hdr) != InnerUDPHeaderLen {
+		panic("packet: BuildUDPFrameInPlace hdr must be InnerUDPHeaderLen bytes")
+	}
+	buf := hdr[:0:len(hdr)]
 	eth := Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: EtherTypeIPv4}
 	buf = eth.Marshal(buf)
 	ip := IPv4{
-		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + len(payload)),
+		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + payloadLen),
 		ID:       ipID,
 		TTL:      64,
 		Protocol: ProtoUDP,
@@ -22,19 +43,33 @@ func BuildUDPFrame(src, dst FlowAddr, ipID uint16, payload []byte) []byte {
 		Dst:      dst.IP,
 	}
 	buf = ip.Marshal(buf)
-	udp := UDP{SrcPort: src.Port, DstPort: dst.Port, Length: uint16(UDPHeaderLen + len(payload))}
-	buf = udp.Marshal(buf)
-	return append(buf, payload...)
+	udp := UDP{SrcPort: src.Port, DstPort: dst.Port, Length: uint16(UDPHeaderLen + payloadLen)}
+	if buf = udp.Marshal(buf); len(buf) != InnerUDPHeaderLen {
+		panic("packet: inner UDP header marshal did not fill the prefix exactly")
+	}
 }
 
 // BuildTCPFrame assembles a complete inner Ethernet/IPv4/TCP frame carrying
 // payload from src to dst with the given sequence number.
 func BuildTCPFrame(src, dst FlowAddr, ipID uint16, seq, ack uint32, flags byte, payload []byte) []byte {
-	buf := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+TCPHeaderLen+len(payload))
+	buf := make([]byte, InnerTCPHeaderLen+len(payload))
+	copy(buf[InnerTCPHeaderLen:], payload)
+	BuildTCPFrameInPlace(buf[:InnerTCPHeaderLen], src, dst, ipID, seq, ack, flags, len(payload))
+	return buf
+}
+
+// BuildTCPFrameInPlace writes the inner Ethernet/IPv4/TCP headers for a
+// payload of payloadLen bytes into hdr (exactly InnerTCPHeaderLen bytes);
+// the in-place counterpart of BuildTCPFrame.
+func BuildTCPFrameInPlace(hdr []byte, src, dst FlowAddr, ipID uint16, seq, ack uint32, flags byte, payloadLen int) {
+	if len(hdr) != InnerTCPHeaderLen {
+		panic("packet: BuildTCPFrameInPlace hdr must be InnerTCPHeaderLen bytes")
+	}
+	buf := hdr[:0:len(hdr)]
 	eth := Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: EtherTypeIPv4}
 	buf = eth.Marshal(buf)
 	ip := IPv4{
-		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen + len(payload)),
+		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen + payloadLen),
 		ID:       ipID,
 		Flags:    FlagDF,
 		TTL:      64,
@@ -44,8 +79,9 @@ func BuildTCPFrame(src, dst FlowAddr, ipID uint16, seq, ack uint32, flags byte, 
 	}
 	buf = ip.Marshal(buf)
 	tcp := TCP{SrcPort: src.Port, DstPort: dst.Port, Seq: seq, Ack: ack, Flags: flags, Window: 65535}
-	buf = tcp.Marshal(buf)
-	return append(buf, payload...)
+	if buf = tcp.Marshal(buf); len(buf) != InnerTCPHeaderLen {
+		panic("packet: inner TCP header marshal did not fill the prefix exactly")
+	}
 }
 
 // ParseInner decodes an inner Ethernet frame down to its transport payload,

@@ -33,7 +33,23 @@ func ParseVXLAN(b []byte) (VXLAN, []byte, error) {
 // for RSS/ECMP, per RFC 7348 §5); the outer UDP checksum is zero as is
 // conventional for VxLAN over IPv4.
 func EncapVXLAN(outerSrcMAC, outerDstMAC MAC, outerSrc, outerDst IPv4Addr, vni uint32, ipID uint16, inner []byte) []byte {
-	buf := make([]byte, 0, OverlayOverhead+len(inner))
+	buf := make([]byte, OverlayOverhead+len(inner))
+	copy(buf[OverlayOverhead:], inner)
+	EncapVXLANInPlace(buf[:OverlayOverhead], outerSrcMAC, outerDstMAC, outerSrc, outerDst, vni, ipID, buf[OverlayOverhead:])
+	return buf
+}
+
+// EncapVXLANInPlace writes the outer Ethernet/IPv4/UDP/VxLAN headers for
+// inner into hdr — the marshal-into-prefix form of EncapVXLAN. hdr must be
+// exactly OverlayOverhead bytes; on the zero-copy path it is the headroom
+// an skb.Push(OverlayOverhead) just exposed immediately in front of inner,
+// so encapsulation is pure offset arithmetic plus a 50-byte header write,
+// with no allocation and no payload copy (the kernel's skb_push shape).
+func EncapVXLANInPlace(hdr []byte, outerSrcMAC, outerDstMAC MAC, outerSrc, outerDst IPv4Addr, vni uint32, ipID uint16, inner []byte) {
+	if len(hdr) != OverlayOverhead {
+		panic("packet: EncapVXLANInPlace hdr must be OverlayOverhead bytes")
+	}
+	buf := hdr[:0:len(hdr)]
 	eth := Ethernet{Dst: outerDstMAC, Src: outerSrcMAC, EtherType: EtherTypeIPv4}
 	buf = eth.Marshal(buf)
 	ip := IPv4{
@@ -53,8 +69,9 @@ func EncapVXLAN(outerSrcMAC, outerDstMAC MAC, outerSrc, outerDst IPv4Addr, vni u
 	}
 	buf = udp.Marshal(buf)
 	vx := VXLAN{VNI: vni}
-	buf = vx.Marshal(buf)
-	return append(buf, inner...)
+	if buf = vx.Marshal(buf); len(buf) != OverlayOverhead {
+		panic("packet: outer header marshal did not fill the prefix exactly")
+	}
 }
 
 // DecapVXLAN validates and strips the outer Ethernet/IPv4/UDP/VxLAN headers

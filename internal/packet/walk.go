@@ -42,6 +42,17 @@ func WalkFrames(b []byte, fn func(frame []byte) error) error {
 // super-packet of encapsulated segments), returning the concatenated inner
 // frames. Every frame must carry the same VNI, which is returned.
 func DecapVXLANAll(b []byte) (vni uint32, inner []byte, err error) {
+	// Pre-size inner from a frame-length walk: every valid outer frame
+	// sheds exactly OverlayOverhead bytes, so the output size is known
+	// before any byte moves. (A bare append here re-copied the
+	// accumulated prefix on every growth step — quadratic in segments.)
+	frames := 0
+	if err := WalkFrames(b, func([]byte) error { frames++; return nil }); err != nil {
+		return 0, nil, err
+	}
+	if n := len(b) - frames*OverlayOverhead; n > 0 {
+		inner = make([]byte, 0, n)
+	}
 	first := true
 	err = WalkFrames(b, func(frame []byte) error {
 		v, in, err := DecapVXLAN(frame)

@@ -80,18 +80,29 @@ func BenchmarkSchedulerEvent(b *testing.B) {
 	s.Run()
 }
 
+// BenchmarkSchedulerHeapChurn measures steady-state churn over a deep
+// standing heap: each iteration dispatches one event and pushes one
+// replacement, so pop's vacated tail slot is immediately reused by the
+// next push and the heap slice never grows inside the loop. (An earlier
+// version of this benchmark only pushed, so it measured amortized slice
+// growth — hundreds of B/op of re-copying the whole event array — rather
+// than churn; true churn through the Handler path allocates nothing.)
 func BenchmarkSchedulerHeapChurn(b *testing.B) {
-	// Many pending events stress heap sift operations.
+	const depth = 4096 // deep enough to exercise long sift paths
 	s := NewScheduler(1)
-	for i := 0; i < 4096; i++ {
-		s.At(Time(1_000_000_000+i), func() {})
+	h := &nopHandler{}
+	arg := &struct{ x int }{}
+	for i := 0; i < depth; i++ {
+		s.AtHandler(Time(1_000_000+i), h, arg)
 	}
-	count := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.At(Time(i%1000), func() { count++ })
+		// Dispatch the oldest standing event, then refill the heap to
+		// the same depth: constant occupancy, pure sift work.
+		s.RunUntil(Time(1_000_000 + i))
+		s.AtHandler(Time(1_000_000+depth+i), h, arg)
 	}
-	s.RunUntil(999_999_999)
 }
 
 func BenchmarkCoreExec(b *testing.B) {

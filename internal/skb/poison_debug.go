@@ -15,6 +15,10 @@ const (
 	PoisonU64  = 0xdead_beef_dead_beef
 	PoisonInt  = -0x5eed
 	PoisonTime = sim.Time(-0x7fff_ffff_ffff)
+	// PoisonByte fills every recycled arena byte: a frame read after Put
+	// parses as garbage (bad checksums, bad lengths) instead of stale
+	// wire bytes.
+	PoisonByte = 0xA5
 )
 
 func poison(s *SKB) {
@@ -37,4 +41,13 @@ func poison(s *SKB) {
 	s.QueuedAt = PoisonTime
 	s.MemCharge = PoisonInt
 	s.Accounted = true
+	poisonArena(s.buf[:cap(s.buf)])
+}
+
+// poisonArena scribbles a full backing array (headroom and tailroom
+// included) before the pool reclaims it.
+func poisonArena(b []byte) {
+	for i := range b {
+		b[i] = PoisonByte
+	}
 }

@@ -6,4 +6,10 @@ package skb
 // Release builds skip the scribble; Get fully zeroes on reuse either way.
 const PoisonEnabled = false
 
+// PoisonByte matches the debug builds' arena scribble value so code may
+// reference it unconditionally; release builds never write it.
+const PoisonByte = 0xA5
+
 func poison(*SKB) {}
+
+func poisonArena([]byte) {}

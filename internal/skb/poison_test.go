@@ -3,7 +3,6 @@
 package skb
 
 import (
-	"reflect"
 	"testing"
 )
 
@@ -45,7 +44,48 @@ func TestPutPoisonsRecycledSKB(t *testing.T) {
 	if s2 != s {
 		t.Fatal("Get did not reuse the poisoned SKB")
 	}
-	if !reflect.DeepEqual(*s2, SKB{}) {
+	if !logicallyZero(s2) {
 		t.Errorf("Get returned poison residue: %+v", s2)
+	}
+}
+
+// Put scribbles the FULL arena — headroom, window and tailroom, plus every
+// arena chained by GRO merges — so a stale view into recycled backing
+// bytes reads PoisonByte, never plausible stale wire bytes.
+func TestPutPoisonsFullArena(t *testing.T) {
+	p := &Pool{}
+	s := p.Get()
+	s.Reserve(8, 8)
+	copy(s.Put(8), "ABCDEFGH")
+	window := s.Data // stale view kept past Put
+	arena := s.buf[:cap(s.buf)]
+
+	other := p.Get()
+	other.Proto = TCP
+	other.Segs = 1
+	other.Seq = 1
+	s.Proto = TCP
+	s.Segs = 1
+	other.Reserve(0, 4)
+	copy(other.Put(4), "WXYZ")
+	chained := other.Data
+	s.Merge(other)
+	p.Put(other)
+	p.Put(s)
+
+	for i, b := range arena {
+		if b != PoisonByte {
+			t.Fatalf("arena[%d] = %#x after Put, want PoisonByte", i, b)
+		}
+	}
+	for i, b := range window {
+		if b != PoisonByte {
+			t.Fatalf("stale window[%d] = %#x after Put, want PoisonByte", i, b)
+		}
+	}
+	for i, b := range chained {
+		if b != PoisonByte {
+			t.Fatalf("chained view[%d] = %#x after Put, want PoisonByte", i, b)
+		}
 	}
 }

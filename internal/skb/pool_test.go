@@ -32,10 +32,84 @@ func TestPoolReusesAndZeroes(t *testing.T) {
 	if p.Free() != 0 {
 		t.Errorf("Free = %d after reuse, want 0", p.Free())
 	}
-	// Reuse must be indistinguishable from a fresh allocation: every field
-	// zeroed, no matter what the previous owner (or the poisoner) left.
-	if !reflect.DeepEqual(*s2, SKB{}) {
+	// Reuse must be logically indistinguishable from a fresh allocation:
+	// every field zeroed, no matter what the previous owner (or the
+	// poisoner) left. Only buffer capacity (arena, frag slice) survives.
+	if !logicallyZero(s2) {
 		t.Errorf("Get returned a non-zeroed SKB: %+v", s2)
+	}
+}
+
+// logicallyZero reports whether the SKB is indistinguishable from &SKB{}
+// to any reader of its logical state: all exported fields zero, no window,
+// no frags. Retained capacity (arena bytes, frag slice capacity) is
+// explicitly allowed — that is the pool's whole point.
+func logicallyZero(s *SKB) bool {
+	c := *s
+	c.buf, c.off, c.frags = nil, 0, nil
+	return len(s.Data) == 0 && len(s.frags) == 0 && s.off == 0 &&
+		reflect.DeepEqual(c, SKB{Data: c.Data})
+}
+
+// Arena capacity survives Put/Get so the wire-mode steady state allocates
+// nothing: a recycled SKB Reserves into the same backing array.
+func TestPoolRetainsArenaAcrossReuse(t *testing.T) {
+	p := &Pool{}
+	s := p.Get()
+	s.Reserve(50, 1400)
+	copy(s.Put(3), []byte{1, 2, 3})
+	arena := &s.buf[0]
+	p.Put(s)
+
+	s2 := p.Get()
+	if s2 != s {
+		t.Fatal("Get did not reuse the recycled SKB")
+	}
+	if !logicallyZero(s2) {
+		t.Fatalf("recycled SKB not logically zero: %+v", s2)
+	}
+	s2.Reserve(50, 1400)
+	if &s2.buf[0] != arena {
+		t.Error("Reserve after reuse did not reuse the retained arena")
+	}
+}
+
+// Put reclaims the arenas GRO chained onto a head (the absorbed SKBs'
+// backing arrays) and Get re-arms arena-less SKBs from that reserve, so
+// merge-heavy steady states stay allocation-free too.
+func TestPoolReclaimsFragArenas(t *testing.T) {
+	p := &Pool{}
+	head, tail := p.Get(), p.Get()
+	head.Proto, tail.Proto = TCP, TCP
+	head.Segs, tail.Segs = 1, 1
+	tail.Seq = 1
+	head.Reserve(0, 4)
+	copy(head.Put(4), "abcd")
+	tail.Reserve(0, 4)
+	copy(tail.Put(4), "efgh")
+	tailArena := &tail.buf[0]
+
+	head.Merge(tail)
+	if tail.Data != nil || tail.buf != nil {
+		t.Fatal("Merge left bytes on the absorbed SKB")
+	}
+	p.Put(tail) // GRO recycles the absorbed skb: no arena to reclaim
+	p.Put(head) // terminal Put reclaims both head arena and chained arena
+	if len(p.arenas) != 1 {
+		t.Fatalf("pool reclaimed %d chained arenas, want 1", len(p.arenas))
+	}
+
+	// The arena-less SKB (tail went in bufferless) gets re-armed from the
+	// reclaimed reserve on the next Get that needs one.
+	var reArmed bool
+	for i := 0; i < 2; i++ {
+		s := p.Get()
+		if s.buf != nil && &s.buf[0] == tailArena {
+			reArmed = true
+		}
+	}
+	if !reArmed {
+		t.Error("no recycled SKB was re-armed with the reclaimed arena")
 	}
 }
 

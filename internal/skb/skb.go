@@ -98,8 +98,20 @@ type SKB struct {
 	Accounted bool
 
 	// Data optionally holds the real wire bytes (nil in synthetic runs;
-	// populated in wire-mode runs and correctness tests).
+	// populated in wire-mode runs and correctness tests). When built via
+	// Reserve/Push/Put it is a window into the SKB's pooled arena (see
+	// arena.go); assigning a foreign slice directly also works, at the
+	// cost of zero headroom until the first Push adopts it.
 	Data []byte
+
+	// buf is the backing arena Data windows into, off the window's start
+	// offset within it (invariant: Data == buf[off:off+len(Data)] whenever
+	// buf != nil). frags chains whole windows absorbed by GRO merges,
+	// kernel frag-list style. All three are pool-managed capacity, not
+	// logical state: Pool.Get hands them back zero-length but warm.
+	buf   []byte
+	off   int
+	frags []frag
 
 	// CP is the causal profiler's per-packet attribution record (nil
 	// unless a run is probed). Declared as any to keep skb free of an
@@ -127,7 +139,11 @@ func (s *SKB) CanMerge(other *SKB) bool {
 }
 
 // Merge absorbs other (which must satisfy CanMerge) into s, extending its
-// coverage the way GRO grows a super-packet.
+// coverage the way GRO grows a super-packet. Bytes are never copied:
+// other's window (and any chain it already carries) is chained onto s as
+// frag references, arenas included, and other is left byte-less so its
+// Put cannot reclaim what s now owns. The merged stream is read via
+// Parts/Bytes.
 func (s *SKB) Merge(other *SKB) {
 	s.Segs += other.Segs
 	s.WireLen += other.WireLen
@@ -135,7 +151,20 @@ func (s *SKB) Merge(other *SKB) {
 	s.MsgID = other.MsgID
 	s.MsgEnd = other.MsgEnd
 	if other.Data != nil {
-		s.Data = append(s.Data, other.Data...)
+		if s.Data == nil && len(s.frags) == 0 {
+			// Byte-less head: take over other's window outright.
+			s.buf, s.off, s.Data = other.buf, other.off, other.Data
+		} else {
+			s.frags = append(s.frags, frag{view: other.Data, arena: other.buf})
+		}
+		other.buf, other.off, other.Data = nil, 0, nil
+	}
+	if len(other.frags) > 0 {
+		s.frags = append(s.frags, other.frags...)
+		for i := range other.frags {
+			other.frags[i] = frag{}
+		}
+		other.frags = other.frags[:0]
 	}
 }
 
@@ -155,13 +184,22 @@ func (s *SKB) Merge(other *SKB) {
 // so pooling can be disabled wholesale by wiring no pool at all.
 type Pool struct {
 	free []*SKB
+	// arenas holds backing arrays reclaimed from frag chains on Put:
+	// GRO strips an absorbed SKB of its arena, so Get re-arms
+	// arena-less SKBs from this list to keep the steady state
+	// allocation-free.
+	arenas [][]byte
 	// Allocs counts pool misses (fresh allocations).
 	Allocs uint64
 	// Puts counts SKBs returned for reuse.
 	Puts uint64
 }
 
-// Get returns a zeroed SKB, reusing a recycled one when available.
+// Get returns a logically zeroed SKB, reusing a recycled one when
+// available. Buffer capacity is retained across reuse: the arena (and the
+// frag chain's slice capacity) come back warm but empty — Data is nil,
+// headroom/tailroom unclaimed — so wire-mode steady state allocates
+// nothing.
 func (p *Pool) Get() *SKB {
 	if p == nil {
 		return &SKB{}
@@ -169,7 +207,16 @@ func (p *Pool) Get() *SKB {
 	if n := len(p.free); n > 0 {
 		s := p.free[n-1]
 		p.free = p.free[:n-1]
+		buf, frags := s.buf, s.frags[:0]
 		*s = SKB{}
+		s.buf, s.frags = buf, frags
+		if s.buf == nil {
+			if m := len(p.arenas); m > 0 {
+				s.buf = p.arenas[m-1]
+				p.arenas[m-1] = nil
+				p.arenas = p.arenas[:m-1]
+			}
+		}
 		return s
 	}
 	p.Allocs++
@@ -177,15 +224,26 @@ func (p *Pool) Get() *SKB {
 }
 
 // Put returns an SKB to the pool. The caller must not retain it. In -race
-// (or skbdebug-tagged) builds the SKB's fields are poisoned so any stale
+// (or skbdebug-tagged) builds the SKB's fields are poisoned — including
+// every byte of its arena and of each chained arena — so any stale
 // reference that survives Put reads obviously-wrong values instead of
-// plausible stale ones.
+// plausible stale ones. Chained arenas are reclaimed for reuse; chained
+// views are dropped.
 func (p *Pool) Put(s *SKB) {
 	if p == nil || s == nil {
 		return
 	}
+	for i := range s.frags {
+		if a := s.frags[i].arena; a != nil {
+			poisonArena(a)
+			p.arenas = append(p.arenas, a)
+		}
+		s.frags[i] = frag{}
+	}
+	s.frags = s.frags[:0]
 	poison(s)
 	s.Data = nil
+	s.off = 0
 	s.CP = nil
 	p.Puts++
 	p.free = append(p.free, s)

@@ -67,8 +67,33 @@ func TestMergeCarriesData(t *testing.T) {
 	a.Data = []byte{1, 2}
 	b.Data = []byte{3}
 	a.Merge(b)
-	if string(a.Data) != "\x01\x02\x03" {
-		t.Errorf("data %v", a.Data)
+	// The merge chains b's window as a frag reference — no copy — so the
+	// head window keeps its own bytes and the logical stream is read via
+	// Bytes (or part-wise via Parts/Part).
+	if string(a.Bytes()) != "\x01\x02\x03" {
+		t.Errorf("merged stream %v", a.Bytes())
+	}
+	if string(a.Data) != "\x01\x02" {
+		t.Errorf("head window %v, want untouched {1,2}", a.Data)
+	}
+	if a.Parts() != 2 || string(a.Part(1)) != "\x03" {
+		t.Errorf("parts wrong: n=%d", a.Parts())
+	}
+	if b.Data != nil {
+		t.Errorf("absorbed skb still holds bytes: %v", b.Data)
+	}
+}
+
+func TestMergeChainTransfersToNewHead(t *testing.T) {
+	a, b, c := seg(1, 0), seg(1, 1), seg(1, 2)
+	a.Data, b.Data, c.Data = []byte{1}, []byte{2}, []byte{3}
+	b.Merge(c) // b now carries a chain
+	a.Merge(b) // a must absorb both b's window and its chain, in order
+	if string(a.Bytes()) != "\x01\x02\x03" {
+		t.Errorf("stream after chained merge: %v", a.Bytes())
+	}
+	if b.NFrags() != 0 || b.Data != nil {
+		t.Error("absorbed skb kept its chain")
 	}
 }
 

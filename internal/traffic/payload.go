@@ -1,0 +1,14 @@
+package traffic
+
+// FillPattern writes the deterministic wire-mode payload for a segment
+// with arrival sequence seq directly into buf — typically a tailroom
+// region a sender just skb.Put into its headroom-reserved arena, so the
+// application bytes are born in the buffer they will travel in and no
+// staging copy ever exists. The pattern (seq+i per byte) is recognizable
+// end to end: socket-side verification and capture tooling can spot a
+// byte that moved.
+func FillPattern(buf []byte, seq uint64) {
+	for i := range buf {
+		buf[i] = byte(seq + uint64(i))
+	}
+}
