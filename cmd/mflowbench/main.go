@@ -73,9 +73,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	// Timing goes to stderr only: stdout and the JSON artifact must be
-	// byte-identical across worker counts.
+	// Timing and scheduler telemetry go to stderr only: stdout and the
+	// JSON artifact must be byte-identical across worker counts.
 	fmt.Fprintf(os.Stderr, "mflowbench: fig=%s workers=%d wall=%s\n", *fig, *parallel, time.Since(start).Round(time.Millisecond))
+	if st, segs := r.SchedTelemetry(); st.Scheduled > 0 && segs > 0 {
+		fmt.Fprintf(os.Stderr,
+			"mflowbench: sched events=%d coalesced=%d (%.1f%%) inlined=%d (%.1f%%) heap-ops=%d peak-heap=%d heap-ops/pkt=%.2f\n",
+			st.Scheduled,
+			st.Coalesced, 100*float64(st.Coalesced)/float64(st.Scheduled),
+			st.Inlined, 100*float64(st.Inlined)/float64(st.Scheduled),
+			st.HeapOps(), st.PeakHeap,
+			float64(st.HeapOps())/float64(segs))
+	}
 
 	for _, t := range tables {
 		if *csv {

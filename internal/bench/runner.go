@@ -109,6 +109,21 @@ func (r *Runner) run(sc overlay.Scenario) *overlay.Result {
 	return r.store(key, overlay.RunProbed(sc, r.probes()), false)
 }
 
+// SchedTelemetry sums scheduler self-accounting over every cached overlay
+// run (counters add, peak heap depth takes the max) and returns the total
+// wire segments those runs delivered, the denominator for a
+// heap-ops-per-packet figure. Application-level runs (web serving, data
+// caching) are not included — they drive their own schedulers.
+func (r *Runner) SchedTelemetry() (st sim.SchedStats, segments uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, res := range r.cache {
+		st.Merge(res.Sched)
+		segments += res.DeliveredSegments
+	}
+	return st, segments
+}
+
 // probes returns a fresh per-run probe set when causal attribution is on.
 // One profiler per run: packet ids restart with each scheduler.
 func (r *Runner) probes() overlay.Probes {

@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -44,21 +45,9 @@ func bucketOf(v int64) int {
 	if v < exactMax {
 		return int(v)
 	}
-	exp := 63 - leadingZeros(uint64(v)) // >= 6
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // >= 6
 	frac := (v - (1 << exp)) >> (exp - 5)
 	return exactMax + (exp-6)*subBuckets + int(frac)
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
 }
 
 // bucketLow returns the smallest value mapping to bucket b (inverse of

@@ -32,6 +32,27 @@ func (r *Registry) SampleQueue(queue string, depth func() int) {
 	})
 }
 
+// samplerTick is the sampler's self-rescheduling event, on the scheduler's
+// closure-free path: one allocation per StartSampler instead of one closure
+// per tick.
+type samplerTick struct {
+	r        *Registry
+	sched    *sim.Scheduler
+	interval sim.Duration
+}
+
+// Handle implements sim.Handler.
+func (t *samplerTick) Handle(any, sim.Time) {
+	if !t.r.sampling {
+		return
+	}
+	for _, p := range t.r.probes {
+		p.hist.Record(int64(p.depth()))
+	}
+	t.r.Samples++
+	t.sched.AfterHandler(t.interval, t, nil)
+}
+
 // StartSampler begins periodic sampling of every registered queue on sched's
 // simulated clock (interval <= 0 selects DefaultSampleInterval). The sampler
 // reschedules itself until StopSampler is called or the scheduler's horizon
@@ -44,18 +65,7 @@ func (r *Registry) StartSampler(sched *sim.Scheduler, interval sim.Duration) {
 		interval = DefaultSampleInterval
 	}
 	r.sampling = true
-	var tick func()
-	tick = func() {
-		if !r.sampling {
-			return
-		}
-		for _, p := range r.probes {
-			p.hist.Record(int64(p.depth()))
-		}
-		r.Samples++
-		sched.After(interval, tick)
-	}
-	sched.After(interval, tick)
+	sched.AfterHandler(interval, &samplerTick{r: r, sched: sched, interval: interval}, nil)
 }
 
 // StopSampler halts periodic sampling (the pending tick becomes a no-op).

@@ -244,6 +244,7 @@ func runHosts(sc Scenario, sched *sim.Scheduler, hosts []*host, fs *fabState) *R
 		Scenario: sc,
 		Latency:  metrics.NewHistogram(),
 		CPU:      cpu,
+		Sched:    sched.Stats(),
 	}
 	window := end.Sub(start).Seconds()
 	res.DeliveredBytes = snap1.bytes - snap0.bytes

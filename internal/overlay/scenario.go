@@ -388,6 +388,12 @@ type Result struct {
 	// DeliveredBytes / DeliveredSegments over the measured window.
 	DeliveredBytes    uint64
 	DeliveredSegments uint64
+
+	// Sched is the run's scheduler self-accounting (whole run, warmup
+	// included): how much heap traffic run coalescing and the inline slot
+	// saved. Telemetry only — never fingerprinted or serialized into
+	// benchmark artifacts.
+	Sched sim.SchedStats
 	// GROFactor is the achieved merge factor.
 	GROFactor float64
 

@@ -171,6 +171,13 @@ func (st *stage) process(batch []*skb.SKB) {
 	if st.gro != nil {
 		batch = st.gro.Coalesce(batch)
 	}
+	// The emission loop chains the batch into one scheduler run: emission
+	// instants are monotone within a poll round (the core executes FIFO),
+	// so one ScheduleRun replaces a heap insert per skb. Mirrored in
+	// processProfiled.
+	var head, tail *skb.SKB
+	var headAt sim.Time
+	runN := 0
 	for _, s := range batch {
 		end := st.sched.Now()
 		for _, d := range st.post {
@@ -188,7 +195,16 @@ func (st *stage) process(batch []*skb.SKB) {
 		if st.obsOn {
 			s.LastStage, s.LastStageAt = st.name, end
 		}
-		st.sched.AtHandler(end, st.outH, s)
+		if tail == nil {
+			head, headAt = s, end
+		} else {
+			tail.SetNextRun(s, end)
+		}
+		tail = s
+		runN++
+	}
+	if runN > 0 {
+		st.sched.ScheduleRun(st.outH, head, headAt, runN)
 	}
 }
 
@@ -236,6 +252,10 @@ func (st *stage) processProfiled(batch []*skb.SKB) {
 	if st.gro != nil {
 		batch = st.gro.Coalesce(batch)
 	}
+	// Emission-run chaining, kept in lockstep with process().
+	var head, tail *skb.SKB
+	var headAt sim.Time
+	runN := 0
 	for _, s := range batch {
 		end := st.sched.Now()
 		first := true
@@ -270,7 +290,16 @@ func (st *stage) processProfiled(batch []*skb.SKB) {
 		if st.obsOn {
 			s.LastStage, s.LastStageAt = st.name, end
 		}
-		st.sched.AtHandler(end, st.outH, s)
+		if tail == nil {
+			head, headAt = s, end
+		} else {
+			tail.SetNextRun(s, end)
+		}
+		tail = s
+		runN++
+	}
+	if runN > 0 {
+		st.sched.ScheduleRun(st.outH, head, headAt, runN)
 	}
 }
 

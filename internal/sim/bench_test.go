@@ -153,3 +153,39 @@ func BenchmarkRandNorm(b *testing.B) {
 		_ = r.NormFloat64()
 	}
 }
+
+// BenchmarkScheduleRun schedules and drains one 16-entry run per iteration:
+// a single heap insert for the head, each successor re-inserted lazily with
+// its pre-reserved seq when its predecessor fires. Pinned at 0 allocs/op by
+// the bench gate.
+func BenchmarkScheduleRun(b *testing.B) {
+	s := NewScheduler(1)
+	h := &nopHandler{}
+	var links [16]runLink
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := s.Now()
+		for j := 0; j < len(links)-1; j++ {
+			links[j].SetNextRun(&links[j+1], now.Add(Duration(j+1)))
+		}
+		s.ScheduleRun(h, &links[0], now, len(links))
+		s.Run()
+	}
+}
+
+// BenchmarkCoreRun measures one Core.Run completion round-trip on the
+// recycled carrier freelist. Pinned at 0 allocs/op by the bench gate.
+func BenchmarkCoreRun(b *testing.B) {
+	s := NewScheduler(1)
+	c := NewCore(0, s)
+	fn := func(end Time) {}
+	c.Run(10, "bench", fn) // warm the tag map and carrier freelist
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(10, "bench", fn)
+		s.Run()
+	}
+}

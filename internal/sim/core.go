@@ -38,8 +38,20 @@ type Core struct {
 
 	sched     *Scheduler
 	busyUntil Time
-	busyByTag map[string]Duration
-	// tagsSorted mirrors busyByTag's keys in sorted order, maintained
+	// runFree recycles Run's completion-event carriers: a carrier frees
+	// itself before invoking its continuation, so a handful cover any
+	// outstanding depth and steady-state Run calls schedule closure-free.
+	runFree []*coreRunEvt
+	// Tag accounting: tagIdx maps a tag to its slot in tagVals (stable,
+	// insertion-ordered), and the (lastTag, lastIdx) memo skips even the
+	// map lookup when consecutive Execs charge the same tag — batch loops
+	// always do, and the constant tag strings make the equality check a
+	// pointer compare.
+	tagIdx  map[string]int
+	tagVals []Duration
+	lastTag string
+	lastIdx int
+	// tagsSorted mirrors the tag set in sorted order, maintained
 	// incrementally on first sight of each tag. The working set of tags is
 	// tiny (a handful of stage names) and almost every Exec hits an
 	// existing tag, so keeping the list sorted here makes Tags() a copy
@@ -51,10 +63,11 @@ type Core struct {
 // NewCore returns a core with nominal speed attached to sched.
 func NewCore(id int, sched *Scheduler) *Core {
 	return &Core{
-		ID:        id,
-		Speed:     1.0,
-		sched:     sched,
-		busyByTag: make(map[string]Duration),
+		ID:      id,
+		Speed:   1.0,
+		sched:   sched,
+		tagIdx:  make(map[string]int),
+		lastIdx: -1,
 	}
 }
 
@@ -103,11 +116,17 @@ func (c *Core) Exec(d Duration, tag string) (start, end Time) {
 	adj := c.adjust(d)
 	end = start.Add(adj)
 	c.busyUntil = end
-	v, seen := c.busyByTag[tag]
-	if !seen {
-		c.insertTag(tag)
+	if tag != c.lastTag || c.lastIdx < 0 {
+		idx, seen := c.tagIdx[tag]
+		if !seen {
+			idx = len(c.tagVals)
+			c.tagVals = append(c.tagVals, 0)
+			c.tagIdx[tag] = idx
+			c.insertTag(tag)
+		}
+		c.lastTag, c.lastIdx = tag, idx
 	}
-	c.busyByTag[tag] = v + adj
+	c.tagVals[c.lastIdx] += adj
 	c.busyTotal += adj
 	if c.ExecLog != nil {
 		c.ExecLog(c.ID, tag, start, end)
@@ -115,11 +134,39 @@ func (c *Core) Exec(d Duration, tag string) (start, end Time) {
 	return start, end
 }
 
+// coreRunEvt carries one Run continuation through the scheduler's
+// closure-free path. Handle returns the carrier to the core's freelist
+// before invoking the continuation, so a continuation that itself calls Run
+// reuses the same carrier instead of growing the list.
+type coreRunEvt struct {
+	c  *Core
+	fn func(end Time)
+}
+
+// Handle implements Handler.
+func (e *coreRunEvt) Handle(_ any, now Time) {
+	fn := e.fn
+	e.fn = nil
+	e.c.runFree = append(e.c.runFree, e)
+	fn(now)
+}
+
 // Run executes work costing d on the core and schedules fn at the completion
-// instant. fn receives that instant.
+// instant. fn receives that instant. The completion event rides a recycled
+// handler carrier, not a fresh closure: Run itself allocates nothing (the
+// caller's fn may, if it captures state).
 func (c *Core) Run(d Duration, tag string, fn func(end Time)) {
 	_, end := c.Exec(d, tag)
-	c.sched.At(end, func() { fn(end) })
+	var e *coreRunEvt
+	if n := len(c.runFree); n > 0 {
+		e = c.runFree[n-1]
+		c.runFree[n-1] = nil
+		c.runFree = c.runFree[:n-1]
+	} else {
+		e = &coreRunEvt{c: c}
+	}
+	e.fn = fn
+	c.sched.AtHandler(end, e, nil)
 }
 
 // BusyTotal returns the cumulative busy time charged to the core.
@@ -127,9 +174,9 @@ func (c *Core) BusyTotal() Duration { return c.busyTotal }
 
 // BusyByTag returns a copy of the per-tag busy-time accounting.
 func (c *Core) BusyByTag() map[string]Duration {
-	out := make(map[string]Duration, len(c.busyByTag))
-	for k, v := range c.busyByTag {
-		out[k] = v
+	out := make(map[string]Duration, len(c.tagIdx))
+	for k, idx := range c.tagIdx {
+		out[k] = c.tagVals[idx]
 	}
 	return out
 }
@@ -170,8 +217,10 @@ func (c *Core) Utilization(busyAtSince Duration, since, until Time) float64 {
 // measurement phases of an experiment).
 func (c *Core) ResetAccounting() {
 	c.busyTotal = 0
-	for k := range c.busyByTag {
-		delete(c.busyByTag, k)
+	for k := range c.tagIdx {
+		delete(c.tagIdx, k)
 	}
+	c.tagVals = c.tagVals[:0]
+	c.lastTag, c.lastIdx = "", -1
 	c.tagsSorted = c.tagsSorted[:0]
 }

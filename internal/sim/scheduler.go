@@ -1,5 +1,7 @@
 package sim
 
+import "os"
+
 // Handler is a pre-allocated callback target for the scheduler's
 // closure-free fast path. Hot paths that schedule one event per packet
 // (softirq polls, per-skb stage handoffs, sender completions) keep a
@@ -12,16 +14,69 @@ type Handler interface {
 	Handle(arg any, now Time)
 }
 
-// event is a single pending callback in the simulation. It carries either a
-// plain closure (fn, the flexible path) or a handler/argument pair (h+arg,
-// the allocation-free path); exactly one of fn and h is set.
-type event struct {
-	at  Time
-	seq uint64 // tiebreaker: FIFO among events scheduled for the same instant
-	fn  func()
-	h   Handler
-	arg any
+// RunLink is the intrusive chain a ScheduleRun emission rides: each entry
+// knows its successor and the successor's fire time, so a whole poll batch
+// of deliveries is one linked list threaded through the items themselves —
+// no slice, no allocation. Implementations (skb.SKB, txpath's GSO unit)
+// embed the two words directly.
+//
+// The scheduler consumes a link exactly once, when the entry that carries
+// it fires: it reads the successor, then clears the link *before* invoking
+// the entry's handler. By the time user code (delivery, pool Put, a new
+// emission loop) can touch the item again its link is therefore always
+// empty, which is what makes chaining pooled objects safe.
+type RunLink interface {
+	// NextRun returns the next entry in the run and its fire time, or
+	// (nil, 0) at the end of the chain. The returned interface must be
+	// untyped nil at chain end, never a typed-nil pointer.
+	NextRun() (RunLink, Time)
+	// SetNextRun links next (firing at) after this entry; SetNextRun(nil, 0)
+	// clears the link.
+	SetNextRun(next RunLink, at Time)
 }
+
+// disableCoalesce force-disables run coalescing and inline-slot delivery
+// (every entry is inserted into the heap eagerly, one event apiece — the
+// naive reference behaviour). Settable via the MFLOW_NOCOALESCE environment
+// variable, mirroring MFLOW_NOPOOL: the fingerprint equivalence tests flip
+// it to prove coalescing is timing-model-inert.
+var disableCoalesce = os.Getenv("MFLOW_NOCOALESCE") != ""
+
+// SetCoalescing enables or disables run coalescing process-wide and returns
+// a restore function. Test-only: the flag is read by every scheduler in the
+// process, so flip it only around serially-executed runs.
+func SetCoalescing(on bool) (restore func()) {
+	prev := disableCoalesce
+	disableCoalesce = !on
+	return func() { disableCoalesce = prev }
+}
+
+// CoalescingEnabled reports whether run coalescing is active.
+func CoalescingEnabled() bool { return !disableCoalesce }
+
+// event is a single pending callback in the simulation: a handler/argument
+// pair. Closures scheduled through At ride the same shape via closureH
+// (the func value travels in arg), keeping the struct at 56 bytes — worth
+// real wall clock, since every sift copies events and the heap sees tens of
+// millions of operations per figure sweep.
+//
+// An event with runEnd > seq is the materialized head of a lazily-emitted
+// run (see ScheduleRun): arg implements RunLink, seqs seq..runEnd were
+// reserved for the run when it was scheduled, and firing this event
+// re-materializes the successor entry with seq+1 before the handler runs.
+type event struct {
+	at     Time
+	seq    uint64 // tiebreaker: FIFO among events scheduled for the same instant
+	runEnd uint64 // last reserved seq of this event's run (0 / <= seq: not a run)
+	h      Handler
+	arg    any
+}
+
+// closureH adapts At's closure path onto the handler dispatch: the func
+// value rides in arg (pointer-shaped, so boxing it allocates nothing).
+type closureH struct{}
+
+func (closureH) Handle(arg any, _ Time) { arg.(func())() }
 
 // before reports whether e fires strictly before o: earlier time, or FIFO
 // scheduling order at the same instant.
@@ -32,6 +87,42 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
+// SchedStats are the scheduler's self-accounting counters: how many logical
+// events it accepted, how much heap traffic coalescing and the inline slot
+// saved, and how deep the heap got. Telemetry only — the counters never
+// feed back into event ordering, timing, or any fingerprinted observable.
+type SchedStats struct {
+	// Scheduled counts logical events accepted (At/AtHandler calls plus
+	// every entry of every run).
+	Scheduled uint64
+	// Coalesced counts run entries whose heap insert was deferred to fire
+	// time (the k-1 tail entries of each lazily-emitted run).
+	Coalesced uint64
+	// Inlined counts events dispatched from the inline slot, bypassing the
+	// heap entirely.
+	Inlined uint64
+	// HeapPushes / HeapPops count heap operations (each O(log n)).
+	HeapPushes uint64
+	HeapPops   uint64
+	// PeakHeap is the maximum heap depth observed.
+	PeakHeap int
+}
+
+// HeapOps returns the total number of O(log n) heap operations performed.
+func (st SchedStats) HeapOps() uint64 { return st.HeapPushes + st.HeapPops }
+
+// Merge folds o into st: counters add, peaks take the max.
+func (st *SchedStats) Merge(o SchedStats) {
+	st.Scheduled += o.Scheduled
+	st.Coalesced += o.Coalesced
+	st.Inlined += o.Inlined
+	st.HeapPushes += o.HeapPushes
+	st.HeapPops += o.HeapPops
+	if o.PeakHeap > st.PeakHeap {
+		st.PeakHeap = o.PeakHeap
+	}
+}
+
 // Scheduler is the discrete-event simulation driver. It owns the virtual
 // clock, the pending-event heap and the run's random source. A Scheduler is
 // single-threaded by design: one simulation run is one goroutine, which keeps
@@ -39,16 +130,31 @@ func (e *event) before(o *event) bool {
 // achieved by running independent Schedulers.
 //
 // The pending set is an inlined 4-ary min-heap over a flat []event ordered
-// by (at, seq). Compared to container/heap's interface-based binary heap
-// this boxes nothing (pushing and popping an event performs zero heap
-// allocations once the slice has grown) and does ~half the comparisons per
-// sift on typical queue depths, which matters because every simulated
-// packet crosses the heap several times.
+// by (at, seq), plus a one-event inline slot that holds the pending minimum
+// when it is known at insertion time (the common same-instant delivery
+// case), sparing both the push and the pop. Compared to container/heap's
+// interface-based binary heap this boxes nothing (pushing and popping an
+// event performs zero heap allocations once the slice has grown) and does
+// ~half the comparisons per sift on typical queue depths, which matters
+// because every simulated packet crosses the pending set several times.
 type Scheduler struct {
 	now     Time
 	seq     uint64
 	events  []event
 	stopped bool
+
+	// slot is the inline fast path: it may hold at most one event, and
+	// only one that fires before everything in the heap (checked at
+	// placement; dispatch re-checks against the then-current heap head, so
+	// ordering is identical to a pure heap — see trySlot and RunUntil).
+	slot     event
+	slotFull bool
+
+	// deferred counts run entries reserved but not yet materialized, so
+	// Pending stays exact under lazy emission.
+	deferred int
+
+	stats SchedStats
 
 	// Rand is the run's deterministic random source.
 	Rand *Rand
@@ -63,6 +169,18 @@ func NewScheduler(seed uint64) *Scheduler {
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
+// Stats returns the scheduler's self-accounting counters. HeapPushes and
+// PeakHeap are completed here from the live heap state (see push for why
+// neither is counted inline).
+func (s *Scheduler) Stats() SchedStats {
+	st := s.stats
+	st.HeapPushes = st.HeapPops + uint64(len(s.events))
+	if n := len(s.events); n > st.PeakHeap {
+		st.PeakHeap = n
+	}
+	return st
+}
+
 // At schedules fn to run at absolute time t. Events scheduled for a time in
 // the past run at the current instant, after already-pending events for that
 // instant (time never goes backwards). Events at the same instant run in
@@ -72,7 +190,11 @@ func (s *Scheduler) At(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn})
+	s.stats.Scheduled++
+	e := event{at: t, seq: s.seq, h: closureH{}, arg: fn}
+	if !s.trySlot(&e) {
+		s.push(e)
+	}
 }
 
 // After schedules fn to run d after the current instant.
@@ -89,7 +211,11 @@ func (s *Scheduler) AtHandler(t Time, h Handler, arg any) {
 		t = s.now
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, h: h, arg: arg})
+	s.stats.Scheduled++
+	e := event{at: t, seq: s.seq, h: h, arg: arg}
+	if !s.trySlot(&e) {
+		s.push(e)
+	}
 }
 
 // AfterHandler schedules h.Handle(arg, now+d) d after the current instant.
@@ -97,7 +223,119 @@ func (s *Scheduler) AfterHandler(d Duration, h Handler, arg any) {
 	s.AtHandler(s.now.Add(d), h, arg)
 }
 
-// push appends e and sifts it up to its heap position.
+// ScheduleRun schedules a whole emission run — n entries chained through
+// head via RunLink, each firing h.Handle(entry, at) — as one logical batch.
+// Entry fire times must be non-decreasing along the chain (emission loops
+// get this for free: completion instants of FIFO core executions are
+// monotone); the head's time is passed explicitly, each successor's rides
+// the predecessor's link.
+//
+// Ordering is bit-identical to scheduling the n entries individually, in
+// chain order, at the call instant: one contiguous seq per entry is
+// reserved eagerly, so the (at, seq) total order — and therefore every
+// downstream fingerprint — cannot observe the difference. What changes is
+// heap traffic: only the head is materialized; when it fires, the successor
+// is re-inserted with its pre-reserved seq, turning O(k log n) heap work
+// per batch into O(log n + k).
+//
+// The scheduler owns each entry's link from this call until the entry
+// fires, at which point the link is cleared before h.Handle runs — so the
+// handler (and anything downstream, including a pool Put) always sees an
+// unlinked item.
+func (s *Scheduler) ScheduleRun(h Handler, head RunLink, headAt Time, n int) {
+	if n <= 0 || head == nil {
+		return
+	}
+	if headAt < s.now {
+		headAt = s.now
+	}
+	s.stats.Scheduled += uint64(n)
+	if disableCoalesce || n == 1 {
+		// Reference path (and the trivial run): materialize every entry
+		// eagerly, one heap insert apiece, seqs in chain order — the same
+		// seq block the lazy path reserves, consumed identically.
+		cur, at := head, headAt
+		for cur != nil {
+			if at < s.now {
+				at = s.now
+			}
+			s.seq++
+			e := event{at: at, seq: s.seq, h: h, arg: cur}
+			if !s.trySlot(&e) {
+				s.push(e)
+			}
+			next, nextAt := cur.NextRun()
+			cur.SetNextRun(nil, 0)
+			cur, at = next, nextAt
+		}
+		return
+	}
+	base := s.seq + 1
+	s.seq += uint64(n)
+	s.stats.Coalesced += uint64(n - 1)
+	s.deferred += n - 1
+	e := event{at: headAt, seq: base, runEnd: base + uint64(n-1), h: h, arg: head}
+	if !s.trySlot(&e) {
+		s.push(e)
+	}
+}
+
+// advanceRun materializes the successor of a firing run entry: the link is
+// read and cleared first (the handler about to run may recycle the entry),
+// then the successor enters the pending set under its pre-reserved seq.
+func (s *Scheduler) advanceRun(e *event) {
+	link := e.arg.(RunLink)
+	next, at := link.NextRun()
+	link.SetNextRun(nil, 0)
+	if next == nil {
+		return
+	}
+	s.deferred--
+	if at < s.now {
+		at = s.now
+	}
+	ne := event{at: at, seq: e.seq + 1, runEnd: e.runEnd, h: e.h, arg: next}
+	if !s.trySlot(&ne) {
+		s.push(ne)
+	}
+}
+
+// trySlot claims the inline slot for e if it provably fires before
+// everything else currently pending (slot empty, and e before the heap
+// minimum); the caller pushes *e to the heap when trySlot declines. When the
+// slot is already held by a later-firing event, the two swap — e takes the
+// slot and the displaced occupant is handed back through *e for the caller's
+// push — so the slot tracks the pending minimum instead of being wedged by
+// one far-future event. Either way the pending set is the same heap ∪ slot
+// multiset, and dispatch always takes the minimum of slot and heap head by
+// (at, seq), so ordering is identical to a pure heap — the slot is purely a
+// heap-traffic bypass, never an ordering shortcut. trySlot and push are each
+// within the inlining budget, so every schedule path constructs its event
+// exactly once.
+func (s *Scheduler) trySlot(e *event) bool {
+	if disableCoalesce {
+		return false
+	}
+	if s.slotFull {
+		if e.before(&s.slot) {
+			s.slot, *e = *e, s.slot
+		}
+		return false
+	}
+	if len(s.events) > 0 && !e.before(&s.events[0]) {
+		return false
+	}
+	s.slot = *e
+	s.slotFull = true
+	return true
+}
+
+// push appends e and sifts it up to its heap position. Deliberately free of
+// bookkeeping so it stays within the inlining budget of the hot schedule
+// paths: HeapPushes is derived in Stats from the pop count plus the pending
+// length (every heaped event pops exactly once), and PeakHeap is tracked at
+// pop entry (any maximal heap length is immediately followed by a pop or is
+// the final length, also folded in by Stats).
 func (s *Scheduler) push(e event) {
 	s.events = append(s.events, e)
 	h := s.events
@@ -113,10 +351,14 @@ func (s *Scheduler) push(e event) {
 	h[i] = e
 }
 
-// pop removes and returns the earliest event. The vacated tail slot is
+// pop removes and returns the earliest heap event. The vacated tail slot is
 // zeroed so the heap does not retain closures, handlers or skbs beyond the
 // event's lifetime.
 func (s *Scheduler) pop() event {
+	s.stats.HeapPops++
+	if n := len(s.events); n > s.stats.PeakHeap {
+		s.stats.PeakHeap = n
+	}
 	h := s.events
 	root := h[0]
 	n := len(h) - 1
@@ -153,8 +395,15 @@ func (s *Scheduler) pop() event {
 	return root
 }
 
-// Pending reports the number of events waiting to run.
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending reports the number of events waiting to run, counting every
+// reserved entry of a lazily-emitted run (not just its materialized head).
+func (s *Scheduler) Pending() int {
+	n := len(s.events) + s.deferred
+	if s.slotFull {
+		n++
+	}
+	return n
+}
 
 // Stop makes the current Run/RunUntil call return after the event being
 // processed completes. Further events remain queued.
@@ -177,18 +426,34 @@ func (s *Scheduler) RunUntil(until Time) Time {
 	if until < s.now {
 		return s.now
 	}
-	for len(s.events) > 0 && !s.stopped {
-		if s.events[0].at > until {
-			s.now = until
-			return s.now
-		}
-		e := s.pop()
-		s.now = e.at
-		if e.h != nil {
-			e.h.Handle(e.arg, s.now)
+	for (s.slotFull || len(s.events) > 0) && !s.stopped {
+		// The next event is the minimum of the inline slot and the heap
+		// head (both ordered by (at, seq)).
+		useSlot := s.slotFull && (len(s.events) == 0 || s.slot.before(&s.events[0]))
+		var e event
+		if useSlot {
+			if s.slot.at > until {
+				s.now = until
+				return s.now
+			}
+			e = s.slot
+			s.slot = event{}
+			s.slotFull = false
+			s.stats.Inlined++
 		} else {
-			e.fn()
+			if s.events[0].at > until {
+				s.now = until
+				return s.now
+			}
+			e = s.pop()
 		}
+		s.now = e.at
+		if e.runEnd > e.seq {
+			// A run head/member: materialize its successor (with its
+			// pre-reserved seq) before the handler can recycle the entry.
+			s.advanceRun(&e)
+		}
+		e.h.Handle(e.arg, s.now)
 	}
 	// Drained or stopped before the horizon: park the clock where the
 	// last event ran.

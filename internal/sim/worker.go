@@ -61,6 +61,8 @@ type Worker[T any] struct {
 	queue     []T
 	spare     []T // recycled backing buffer, ping-ponged with queue per poll
 	scheduled bool
+	pollTag   string // Name+"/poll", concatenated once
+	chainKind int8   // 0 undecided, 1 T implements RunLink, 2 it doesn't
 
 	// Closure-free scheduling: every poll and per-item delivery event is
 	// scheduled through these fixed handler objects instead of a fresh
@@ -109,13 +111,21 @@ func (w *Worker[T]) Len() int { return len(w.queue) }
 // already-scheduled poll simply finds an empty queue and returns. Stolen
 // items keep their Enqueued accounting — the thief re-enqueues them on
 // another worker, which counts them there.
+//
+// The returned slice is the worker's own queue buffer (its ping-pong spare
+// takes over as the live queue), not a copy: the caller must consume it
+// before this worker next polls or is stolen from again, which the
+// single-threaded simulation guarantees for any caller that drains the
+// batch synchronously — as the watchdog does. Re-enqueueing onto a
+// *different* worker while iterating is safe; re-enqueueing onto this one
+// would append into the very buffer being iterated.
 func (w *Worker[T]) StealQueue() []T {
 	if len(w.queue) == 0 {
 		return nil
 	}
-	out := make([]T, len(w.queue))
-	copy(out, w.queue)
-	w.queue = w.queue[:0]
+	out := w.queue
+	w.queue = w.spare[:0]
+	w.spare = out[:0] // recycle out's buffer once the caller is done with it
 	return out
 }
 
@@ -196,7 +206,10 @@ func (w *Worker[T]) poll() {
 	w.spare = old[:0]
 
 	if w.PollOverhead > 0 {
-		w.Core.Exec(w.PollOverhead, w.Name+"/poll")
+		if w.pollTag == "" {
+			w.pollTag = w.Name + "/poll"
+		}
+		w.Core.Exec(w.PollOverhead, w.pollTag)
 	}
 	if w.ProcessBatch != nil {
 		w.ProcessBatch(batch)
@@ -204,15 +217,48 @@ func (w *Worker[T]) poll() {
 		if w.thenH.w == nil {
 			w.thenH.w = w
 		}
+		// Chainable items (skbs, GSO units) deliver as one emission run:
+		// completion instants within the batch are monotone (the core
+		// executes FIFO), so the whole round costs the scheduler one heap
+		// insert instead of one per item. Items whose type doesn't
+		// implement RunLink keep the per-item path; that check is made
+		// once on the zero value so value-typed items (ints in tests)
+		// aren't boxed per item just to probe the interface.
+		if w.chainKind == 0 {
+			var zero T
+			if _, ok := any(zero).(RunLink); ok {
+				w.chainKind = 1
+			} else {
+				w.chainKind = 2
+			}
+		}
+		var head, tail RunLink
+		var headAt Time
+		runN := 0
 		for _, item := range batch {
 			start, end := w.Core.Exec(w.Cost(item), w.Name)
 			w.Processed++
 			if w.ServeLog != nil {
 				w.ServeLog(item, start, end)
 			}
-			if w.Then != nil {
-				w.Sched.AtHandler(end, &w.thenH, item)
+			if w.Then == nil {
+				continue
 			}
+			if w.chainKind != 1 {
+				w.Sched.AtHandler(end, &w.thenH, item)
+				continue
+			}
+			link := any(item).(RunLink)
+			if tail == nil {
+				head, headAt = link, end
+			} else {
+				tail.SetNextRun(link, end)
+			}
+			tail = link
+			runN++
+		}
+		if runN > 0 {
+			w.Sched.ScheduleRun(&w.thenH, head, headAt, runN)
 		}
 	}
 	switch {

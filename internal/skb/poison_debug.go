@@ -41,6 +41,7 @@ func poison(s *SKB) {
 	s.QueuedAt = PoisonTime
 	s.MemCharge = PoisonInt
 	s.Accounted = true
+	s.runAt = PoisonTime
 	poisonArena(s.buf[:cap(s.buf)])
 }
 

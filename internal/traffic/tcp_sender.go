@@ -119,6 +119,28 @@ type txEvt struct {
 	s   *skb.SKB
 	rec *segRec
 	n   uint64 // retransmit sequence, or RTO generation
+
+	// runNext / runAt chain a pump burst's completion events into one
+	// scheduler run (sim.RunLink); consumed and cleared at fire time.
+	runNext *txEvt
+	runAt   sim.Time
+}
+
+// NextRun implements sim.RunLink.
+func (e *txEvt) NextRun() (sim.RunLink, sim.Time) {
+	if e.runNext == nil {
+		return nil, 0
+	}
+	return e.runNext, e.runAt
+}
+
+// SetNextRun implements sim.RunLink.
+func (e *txEvt) SetNextRun(next sim.RunLink, at sim.Time) {
+	if next == nil {
+		e.runNext, e.runAt = nil, 0
+		return
+	}
+	e.runNext, e.runAt = next.(*txEvt), at
 }
 
 func (t *TCPSender) getEvt() *txEvt {
@@ -350,12 +372,29 @@ func (t *TCPSender) pump() {
 	if win <= 0 {
 		win = 512
 	}
+	// A window burst's completion events form one emission run (the FIFO
+	// client core makes their instants monotone; the RTO armed by the
+	// first reliable segment keeps its place because it is scheduled
+	// inline, before the run's seq block is reserved).
+	var head, tail *txEvt
+	var headAt sim.Time
+	n := 0
 	for t.Outstanding() < win {
-		t.sendSegment()
+		e, end := t.sendSegment()
+		if tail == nil {
+			head, headAt = e, end
+		} else {
+			tail.SetNextRun(e, end)
+		}
+		tail = e
+		n++
+	}
+	if n > 0 {
+		t.Sched.ScheduleRun(t.doneH, head, headAt, n)
 	}
 }
 
-func (t *TCPSender) sendSegment() {
+func (t *TCPSender) sendSegment() (*txEvt, sim.Time) {
 	payload := t.MsgSize - t.inMsg
 	if payload > MSS {
 		payload = MSS
@@ -397,7 +436,7 @@ func (t *TCPSender) sendSegment() {
 	s.MsgEnd = last
 	e := t.getEvt()
 	e.s, e.rec = s, rec
-	t.Sched.AtHandler(end, t.doneH, e)
+	return e, end
 }
 
 // retransmit resends the buffered segment at seq, if still unacknowledged.

@@ -98,6 +98,11 @@ func (u *UDPSender) sendMsg() {
 	u.MsgsSent++
 	remaining := u.MsgSize
 	seq := u.Seq.Next(frags)
+	// The datagram's fragments form one emission run: completion instants
+	// are monotone on the FIFO client core, so the scheduler pays one heap
+	// insert per datagram instead of one per fragment.
+	var head, tail *skb.SKB
+	var headAt sim.Time
 	for i := 0; i < frags; i++ {
 		payload := remaining
 		if payload > UDPFragPayload {
@@ -122,8 +127,14 @@ func (u *UDPSender) sendMsg() {
 		s.MsgID = msgID
 		s.MsgEnd = i == frags-1
 		s.SentAt = end
-		u.Sched.AtHandler(end, u.doneH, s)
+		if tail == nil {
+			head, headAt = s, end
+		} else {
+			tail.SetNextRun(s, end)
+		}
+		tail = s
 	}
+	u.Sched.ScheduleRun(u.doneH, head, headAt, frags)
 	// Next datagram as soon as the client core frees up: the sender
 	// saturates its CPU, the paper's client-side bottleneck.
 	u.Sched.AtHandler(u.Core.FreeAt(), u.loopH, nil)

@@ -98,6 +98,29 @@ type Pipeline struct {
 // txUnit is a GSO super-packet in flight through the egress chain.
 type txUnit struct {
 	segs []*skb.SKB
+
+	// runNext / runAt chain units into a qdisc delivery run
+	// (sim.RunLink); the scheduler consumes and clears the link before
+	// the unit's transmit handler runs.
+	runNext *txUnit
+	runAt   sim.Time
+}
+
+// NextRun implements sim.RunLink.
+func (u *txUnit) NextRun() (sim.RunLink, sim.Time) {
+	if u.runNext == nil {
+		return nil, 0
+	}
+	return u.runNext, u.runAt
+}
+
+// SetNextRun implements sim.RunLink.
+func (u *txUnit) SetNextRun(next sim.RunLink, at sim.Time) {
+	if next == nil {
+		u.runNext, u.runAt = nil, 0
+		return
+	}
+	u.runNext, u.runAt = next.(*txUnit), at
 }
 
 // txOutH delivers one wire-serialized segment to the receiving NIC.
@@ -140,6 +163,7 @@ func (p *Pipeline) getUnit() *txUnit {
 
 func (p *Pipeline) putUnit(u *txUnit) {
 	u.segs = u.segs[:0]
+	u.runNext, u.runAt = nil, 0
 	p.unitFree = append(p.unitFree, u)
 }
 
@@ -185,8 +209,13 @@ func (p *Pipeline) unitCost(u *txUnit) sim.Duration {
 }
 
 // transmit serializes the unit's segments onto the wire, delivering each to
-// the receiving NIC at its serialization completion instant.
+// the receiving NIC at its serialization completion instant. The unit's
+// segments form one emission run (serialization completions are monotone on
+// the wire core), costing the scheduler a single heap insert.
 func (p *Pipeline) transmit(u *txUnit, _ sim.Time) {
+	var head, tail *skb.SKB
+	var headAt sim.Time
+	n := 0
 	for _, s := range u.segs {
 		d := sim.Duration(float64(s.WireLen*8) / p.Costs.WireBps * 1e9)
 		if d < 1 {
@@ -194,9 +223,18 @@ func (p *Pipeline) transmit(u *txUnit, _ sim.Time) {
 		}
 		_, end := p.wire.Exec(d, "wire")
 		p.SentSegments += uint64(s.Segs)
-		p.sched.AtHandler(end, p.outH, s)
+		if tail == nil {
+			head, headAt = s, end
+		} else {
+			tail.SetNextRun(s, end)
+		}
+		tail = s
+		n++
 	}
 	p.putUnit(u)
+	if n > 0 {
+		p.sched.ScheduleRun(p.outH, head, headAt, n)
+	}
 }
 
 // Deliver implements traffic.Ingress: a sender's segment enters the socket
